@@ -1,0 +1,50 @@
+"""Fig 4 — Sublinear's conservatism wastes budget on small inputs.
+
+Paper shape: under a 3 GB budget on TC-Bert, the static worst-case plan
+leaves over 1 GB unused on small sequences and costs up to ~35 % in
+throughput versus no checkpointing.
+"""
+
+from repro.experiments.figures import fig4_data
+from repro.experiments.report import render_table
+
+from conftest import run_once, save_result
+
+GB = 1024**3
+
+
+def bench_fig4_sublinear_waste(benchmark, results_dir):
+    data = run_once(benchmark, fig4_data, budget_gb=3.0, iterations=60)
+    rows = data["rows"]
+    small = [r for r in rows if r["seqlen"] <= 100]
+    large = [r for r in rows if r["seqlen"] >= 250]
+    summary = [
+        {
+            "group": "small inputs (len<=100)",
+            "count": len(small),
+            "mean_unused_gb": sum(r["unused_budget"] for r in small) / max(len(small), 1) / GB,
+            "mean_slowdown": sum(r["slowdown"] for r in small) / max(len(small), 1),
+        },
+        {
+            "group": "large inputs (len>=250)",
+            "count": len(large),
+            "mean_unused_gb": sum(r["unused_budget"] for r in large) / max(len(large), 1) / GB,
+            "mean_slowdown": sum(r["slowdown"] for r in large) / max(len(large), 1),
+        },
+        {
+            "group": "all",
+            "count": len(rows),
+            "mean_unused_gb": sum(r["unused_budget"] for r in rows) / len(rows) / GB,
+            "mean_slowdown": data["mean_slowdown"],
+        },
+    ]
+    text = render_table(
+        summary,
+        title="Fig 4: Sublinear @3GB on TC-Bert — unused budget and slowdown vs baseline",
+    )
+    text += f"\nmax unused budget: {data['max_unused_budget'] / GB:.2f} GB (paper: ~1.2 GB)"
+    save_result(results_dir, "fig04_sublinear_waste", text)
+    # the paper's qualitative claims
+    assert data["max_unused_budget"] > 0.25 * GB
+    assert summary[0]["mean_unused_gb"] > summary[1]["mean_unused_gb"]
+    assert data["mean_slowdown"] > 1.05

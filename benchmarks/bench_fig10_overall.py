@@ -1,0 +1,104 @@
+"""Fig 10 — overall performance: normalized training time vs budget for
+every Table II task under every planner.
+
+Paper shape to reproduce (per panel): Mimose is the fastest planner at
+every budget, improving over Sublinear by ~18 % and DTR by ~15 % on
+average; all planners approach the baseline as the budget rises; Mimose
+and Sublinear respect the budget while DTR (always) and Checkmate/MONeT
+(on the OD tasks, where their static graphs cannot follow the input
+shapes) exceed it.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig10_data
+from repro.experiments.report import render_table
+
+from conftest import run_once, save_result
+
+NLP_TASKS = ("MC-Roberta", "TR-T5", "QA-Bert", "TC-Bert")
+OD_TASKS = ("OD-R50", "OD-R101")
+
+
+def _render(data):
+    rows = []
+    for planner, series in data["series"].items():
+        for point in series:
+            rows.append(
+                {
+                    "planner": planner,
+                    "budget_gb": point["budget_gb"],
+                    "norm_time": point["normalized_time"],
+                    "peak_reserved_gb": point["peak_reserved_gb"],
+                    "in_budget": point["respects_budget"],
+                    "oom": point["oom_iterations"],
+                }
+            )
+    title = (
+        f"Fig 10 [{data['task']}]: normalized time vs budget "
+        f"(bounds {data['memory_lower_bound_gb']:.2f}-"
+        f"{data['memory_upper_bound_gb']:.2f} GB)"
+    )
+    return rows, render_table(rows, title=title)
+
+
+def _check_common(data):
+    series = data["series"]
+    budgets = data["budgets_gb"]
+    # Mimose strictly respects the budget and never OOMs
+    for point in series["mimose"]:
+        assert point["respects_budget"], point
+        assert point["oom_iterations"] == 0
+    # In the memory-constrained regime (the paper's operating points,
+    # lower half of the sweep) Mimose beats both baselines per budget.
+    tight = range(max(1, len(budgets) // 2))
+    for i in tight:
+        t_m = series["mimose"][i]["normalized_time"]
+        assert t_m <= series["sublinear"][i]["normalized_time"] * 1.02
+        assert t_m <= series["dtr"][i]["normalized_time"] * 1.02
+    # Averaged over the sweep, Mimose still wins (collection is a one-off
+    # cost that a full epoch amortises further).
+    def mean(name):
+        return sum(p["normalized_time"] for p in series[name]) / len(budgets)
+
+    assert mean("mimose") <= mean("sublinear") * 1.02
+    assert mean("mimose") <= mean("dtr") * 1.02
+    # performance improves (or stays flat) as the budget grows
+    times = [p["normalized_time"] for p in series["mimose"]]
+    assert times[-1] <= times[0] + 0.02
+
+
+@pytest.mark.parametrize("task", NLP_TASKS)
+def bench_fig10_nlp(benchmark, results_dir, task):
+    data = run_once(
+        benchmark,
+        fig10_data,
+        task,
+        planners=("sublinear", "checkmate", "monet", "dtr", "mimose"),
+        iterations=120,
+    )
+    _, text = _render(data)
+    save_result(results_dir, f"fig10_{task}", text)
+    _check_common(data)
+    # DTR overshoots its budget on NLP tasks (fragmentation)
+    assert any(not p["respects_budget"] for p in data["series"]["dtr"])
+
+
+@pytest.mark.parametrize("task", OD_TASKS)
+def bench_fig10_od(benchmark, results_dir, task):
+    data = run_once(
+        benchmark,
+        fig10_data,
+        task,
+        planners=("sublinear", "checkmate", "monet", "dtr", "mimose"),
+        iterations=100,
+    )
+    _, text = _render(data)
+    save_result(results_dir, f"fig10_{task}", text)
+    _check_common(data)
+    # §VI-B: on OD only Mimose and Sublinear obey the budget; the static
+    # MILP planners (solved for an assumed shape) exceed it.
+    for name in ("checkmate", "monet"):
+        assert any(
+            not p["respects_budget"] for p in data["series"][name]
+        ), f"{name} unexpectedly stayed in budget on {task}"

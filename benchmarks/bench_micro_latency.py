@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the Mimose critical-path components.
+
+These are genuine wall-clock measurements (the same Python work the real
+Mimose does on its critical path), so pytest-benchmark's statistics are
+meaningful here: estimator fit, per-size prediction, Algorithm 1
+scheduling, and cache lookup.
+"""
+
+import numpy as np
+
+from repro.core.collector import ShuttlingCollector
+from repro.core.estimator import LightningMemoryEstimator
+from repro.core.plan_cache import PlanCache
+from repro.core.scheduler import GreedyScheduler, SchedulerInput
+from repro.engine.stats import UnitMeasurement
+from repro.planners.base import CheckpointPlan
+
+MB = 1 << 20
+
+
+def _collector(num_units=12, num_sizes=10):
+    c = ShuttlingCollector(min_iterations=1)
+    rng = np.random.default_rng(0)
+    sizes = rng.integers(1_000, 20_000, num_sizes)
+    for s in sizes:
+        c.ingest(
+            UnitMeasurement(
+                f"enc.{u}", int(s), int(0.01 * s * s + 300 * s), 1e-4
+            )
+            for u in range(num_units)
+        )
+    return c
+
+
+def bench_estimator_fit(benchmark):
+    """Estimator training: ~1 ms per Table IV."""
+    collector = _collector()
+    est = LightningMemoryEstimator()
+    benchmark(est.fit, collector)
+
+
+def bench_estimator_predict_all(benchmark):
+    """Per-iteration prediction of all 12 units: tens of microseconds."""
+    est = LightningMemoryEstimator()
+    est.fit(_collector())
+    result = benchmark(est.predict_all_bytes, 12_345)
+    assert len(result) == 12
+
+
+def bench_scheduler_greedy(benchmark):
+    """Algorithm 1 over 12 units: well under a millisecond."""
+    est = {f"enc.{i}": (100 + 3 * i) * MB for i in range(12)}
+    order = {u: i for i, u in enumerate(est)}
+    inp = SchedulerInput(est_bytes=est, order=order, excess_bytes=500 * MB)
+    chosen = benchmark(GreedyScheduler().schedule, inp)
+    assert chosen
+
+
+def bench_plan_cache_lookup(benchmark):
+    """Cache hit path: microseconds (the common responsive-phase case)."""
+    cache = PlanCache()
+    for s in range(1_000, 65_000, 500):
+        cache.put(s, CheckpointPlan(frozenset({"enc.0"}), str(s)))
+    result = benchmark(cache.get, 32_000)
+    assert result is not None
+
+
+def bench_end_to_end_plan_generation(benchmark):
+    """Estimator + scheduler together — the paper's 0.26-1.25 ms range."""
+    est = LightningMemoryEstimator()
+    est.fit(_collector())
+    scheduler = GreedyScheduler()
+    order = {f"enc.{i}": i for i in range(12)}
+
+    def make_plan(size=15_000):
+        bytes_ = est.predict_all_bytes(size)
+        excess = sum(bytes_.values()) // 2
+        return scheduler.schedule(
+            SchedulerInput(est_bytes=bytes_, order=order, excess_bytes=excess)
+        )
+
+    plan = benchmark(make_plan)
+    assert plan

@@ -1,0 +1,15 @@
+"""Table I — the qualitative planner-feature matrix."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1_rows
+
+from conftest import run_once, save_result
+
+
+def bench_table1_capabilities(benchmark, results_dir):
+    rows = run_once(benchmark, table1_rows)
+    text = render_table(rows, title="Table I: planner capability matrix")
+    save_result(results_dir, "table1_capabilities", text)
+    by_name = {r["planner"]: r for r in rows}
+    assert by_name["mimose"]["dynamic_input"] and by_name["dtr"]["dynamic_input"]
+    assert not by_name["sublinear"]["dynamic_input"]

@@ -1,0 +1,39 @@
+"""Table III — Mimose overhead breakdown per task.
+
+Paper shape: the collector runs ~10 times per epoch; estimator+scheduler
+cost 0.26-1.25 ms per generated plan (well under 1 % of an iteration);
+plans are generated only dozens of times per epoch thanks to the cache;
+total overhead equals a few iterations' worth of time (3.48 on average).
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table3_rows
+
+from conftest import run_once, save_result
+
+
+def bench_table3_overhead(benchmark, results_dir):
+    rows = run_once(benchmark, table3_rows, iterations=150)
+    text = render_table(
+        rows,
+        columns=[
+            "task", "budget_gb", "mean_iter_ms", "collector_ms",
+            "collector_iters", "estimator_scheduler_ms_min",
+            "estimator_scheduler_ms_max", "plans_generated",
+            "total_overhead_iters",
+        ],
+        title="Table III: Mimose overhead breakdown (150-iteration epochs)",
+    )
+    save_result(results_dir, "table3_overhead", text)
+    for r in rows:
+        # ~10 sheltered iterations, as in the paper
+        assert 8 <= r["collector_iters"] <= 20, r
+        # estimator+scheduler stay in the sub-10ms regime per plan
+        assert r["estimator_scheduler_ms_max"] < 10.0, r
+        # plans are generated far less often than once per iteration
+        assert r["plans_generated"] < 150, r
+    mean_overhead = sum(r["total_overhead_iters"] for r in rows) / len(rows)
+    # the paper reports 3.48 iterations on average; ours lands in the same
+    # few-iterations regime
+    assert mean_overhead < 8.0
+    benchmark.extra_info["mean_overhead_iters"] = mean_overhead

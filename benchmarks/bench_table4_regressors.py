@@ -1,0 +1,36 @@
+"""Table IV — regression-family comparison for the memory estimator.
+
+Paper shape: the quadratic polynomial achieves thousandth-level error
+from 10 samples with microsecond-scale prediction; the linear model
+underfits (~4 %); SVR/decision trees overfit 10 samples and lag even with
+50; XGBoost-style boosting is orders of magnitude slower to train and
+predict.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table4_rows
+
+from conftest import run_once, save_result
+
+
+def bench_table4_regressors(benchmark, results_dir):
+    rows = run_once(benchmark, table4_rows)
+    text = render_table(
+        rows, title="Table IV: estimator regression models on TC-Bert"
+    )
+    save_result(results_dir, "table4_regressors", text)
+    by_key = {(r["regressor"], r["num_samples"]): r for r in rows}
+    poly2 = by_key[("poly2", 10)]
+    # the quadratic wins: thousandth-level error
+    assert poly2["error_pct"] < 0.5
+    # and beats every non-polynomial family at 10 samples
+    for name in ("svr", "tree", "gbt"):
+        assert by_key[(name, 10)]["error_pct"] > poly2["error_pct"] + 0.5
+    # linear underfits the quadratic law
+    assert by_key[("poly1", 10)]["error_pct"] > poly2["error_pct"]
+    # boosting is by far the slowest to train and predict
+    assert by_key[("gbt", 10)]["train_time_ms"] > 50 * poly2["train_time_ms"]
+    assert by_key[("gbt", 10)]["predict_latency_us"] > 5 * poly2["predict_latency_us"]
+    # polynomial fit and predict stay in the ms / tens-of-us regime
+    assert poly2["train_time_ms"] < 50
+    assert poly2["predict_latency_us"] < 5000

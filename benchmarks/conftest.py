@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure from the paper, renders
+it as paper-style text, and saves the artifact under
+``benchmarks/results/`` so the reproduction output survives pytest's
+output capture.  Wall-clock timing of the generators themselves is what
+pytest-benchmark records (rounds=1 — these are long sweeps, not
+micro-kernels).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a long-running generator exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Data-parallel fine-tuning: input dynamics become straggler dynamics.
+
+Runs the TC-Bert workload on 4 simulated GPUs.  Each rank collates its
+own batch, so sequence-length variance turns into step-time imbalance —
+every step waits for the rank that drew the longest batch.  The example
+compares Mimose against Sublinear per rank and reports how much of each
+step is straggler wait versus exposed all-reduce.  (Mimose's sheltered
+collection also lands on the critical path, so very short runs favour
+the static planner; the default 80 steps is past the crossover.)
+
+Usage:
+    python examples/data_parallel.py [--world-size 4] [--steps 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.planner import MimosePlanner
+from repro.data.datasets import DataLoader, make_dataset
+from repro.engine.ddp import DataParallelExecutor
+from repro.experiments.report import render_table
+from repro.models.registry import build_model
+from repro.planners.sublinear import SublinearPlanner
+
+GB = 1024**3
+
+
+def run(planner_name: str, world_size: int, steps: int, budget: int) -> dict:
+    loaders = [
+        DataLoader(make_dataset("glue-qqp"), 32, steps, seed=40 + r)
+        for r in range(world_size)
+    ]
+    worst = loaders[0].worst_case_batch()
+
+    def planner_factory(rank: int):
+        if planner_name == "mimose":
+            return MimosePlanner(budget)
+        return SublinearPlanner(budget, worst_case_batch=worst)
+
+    ddp = DataParallelExecutor(
+        lambda: build_model("bert-base"),
+        planner_factory,
+        world_size,
+        capacity_bytes=budget,
+    )
+    imbalance = 0.0
+    exposed = 0.0
+    ooms = 0
+    for step_batches in zip(*loaders):
+        stats = ddp.step(list(step_batches))
+        imbalance += stats.imbalance
+        exposed += stats.exposed_allreduce
+        ooms += stats.oom
+    return {
+        "planner (per rank)": planner_name,
+        "mean_step_ms": 1e3 * ddp.mean_step_time,
+        "mean_imbalance": imbalance / ddp.steps,
+        "exposed_allreduce_ms": 1e3 * exposed / ddp.steps,
+        "oom_steps": ooms,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--world-size", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=80)
+    parser.add_argument("--budget-gb", type=float, default=4.0)
+    args = parser.parse_args()
+
+    budget = int(args.budget_gb * GB)
+    rows = [
+        run(name, args.world_size, args.steps, budget)
+        for name in ("sublinear", "mimose")
+    ]
+    print(
+        render_table(
+            rows,
+            title=(
+                f"TC-Bert x{args.world_size} ranks @ {args.budget_gb} GB "
+                f"per rank ({args.steps} steps)"
+            ),
+        )
+    )
+    print(
+        "\nEvery step waits for the rank with the longest batch; Mimose's "
+        "per-rank,\ninput-aware plans shrink exactly the recompute that "
+        "lands on that critical path."
+    )
+
+
+if __name__ == "__main__":
+    main()

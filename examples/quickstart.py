@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: train Bert-base under a 4 GB budget with Mimose.
+
+Runs 40 iterations of the TC-Bert workload (GLUE-QQP-like variable-length
+batches) three ways — no planning, static Sublinear, and Mimose — and
+prints the per-planner summary.  This is the paper's pitch in one screen:
+same budget, input-aware planning, higher throughput.
+
+Usage:
+    python examples/quickstart.py [--budget-gb 4] [--iterations 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_task
+from repro.experiments.tasks import GB, load_task
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-gb", type=float, default=4.0)
+    parser.add_argument("--iterations", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    task = load_task("TC-Bert", iterations=args.iterations, seed=args.seed)
+    budget = int(args.budget_gb * GB)
+    lb, ub = task.memory_bounds()
+    print(
+        f"TC-Bert (Bert-base on GLUE-QQP-like data, batch 32)\n"
+        f"memory bounds: full-checkpoint {lb / GB:.2f} GB, "
+        f"no-checkpoint {ub / GB:.2f} GB; budget {budget / GB:.2f} GB\n"
+    )
+
+    baseline = run_task(task, "baseline", budget)
+    rows = []
+    for planner in ("baseline", "sublinear", "dtr", "mimose"):
+        r = baseline if planner == "baseline" else run_task(task, planner, budget)
+        rows.append(
+            {
+                "planner": planner,
+                "normalized_time": r.normalized_time(baseline),
+                "peak_used_gb": r.peak_in_use / GB,
+                "peak_reserved_gb": r.peak_reserved / GB,
+                "respects_budget": r.peak_reserved <= budget
+                or planner == "baseline",
+                "oom_iterations": r.oom_count,
+            }
+        )
+    print(render_table(rows, title=f"{args.iterations} iterations @ {args.budget_gb} GB"))
+    print(
+        "\nMimose adapts its checkpoint plan to each batch's sequence "
+        "length,\nso small batches skip recomputation entirely while large "
+        "ones stay\nwithin budget — the normalized_time column shows the "
+        "resulting win."
+    )
+
+
+if __name__ == "__main__":
+    main()

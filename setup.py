@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured entirely by pyproject.toml; this file exists so
+`python setup.py develop` works on fully offline machines where pip's
+editable-install path requires the `wheel` package (as in the environment
+this reproduction was built in).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *Mimose* (IPDPS 2023).
+
+"Exploiting Input Tensor Dynamics in Activation Checkpointing for
+Efficient Training on GPU" — an input-aware activation-checkpointing
+planner, reproduced end-to-end on a deterministic simulated-GPU training
+substrate (no CUDA required).
+
+Public entry points:
+
+* :func:`repro.models.build_model` — the evaluated model zoo;
+* :class:`repro.core.MimosePlanner` — the paper's contribution;
+* :mod:`repro.planners` — the baselines (Sublinear, Checkmate, MONeT, DTR);
+* :class:`repro.engine.TrainingExecutor` — simulated training loop;
+* :mod:`repro.experiments` — tasks, sweeps, and figure/table generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "engine",
+    "experiments",
+    "graph",
+    "models",
+    "planners",
+    "tensorsim",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    list                 show tasks, planners, models, datasets
+    run                  run one (task, planner, budget) combination
+    sweep                Fig 10-style sweep for one task
+    table {1,3,4,5}      regenerate a paper table
+    bounds               print per-task memory bounds and default budgets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import PLANNER_NAMES, run_task, sweep
+from repro.experiments.tasks import GB, TASKS, load_task
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.data.datasets import available_datasets
+    from repro.models.registry import available_models
+
+    print("tasks:    ", ", ".join(sorted(TASKS)))
+    print("planners: ", ", ".join(PLANNER_NAMES))
+    print("models:   ", ", ".join(available_models()))
+    print("datasets: ", ", ".join(available_datasets()))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    rows = []
+    for abbr in sorted(TASKS):
+        task = load_task(abbr, iterations=2, calibration_samples=50)
+        lb, ub = task.memory_bounds()
+        rows.append(
+            {
+                "task": abbr,
+                "model": task.spec.model,
+                "batch": task.spec.batch_size,
+                "lower_gb": lb / GB,
+                "upper_gb": ub / GB,
+                "default_budgets_gb": ", ".join(
+                    f"{b / GB:.2f}" for b in task.default_budgets()
+                ),
+            }
+        )
+    print(render_table(rows, title="memory bounds (worst-case input)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    task = load_task(args.task, iterations=args.iterations, seed=args.seed)
+    budget = int(args.budget_gb * GB)
+    baseline = run_task(task, "baseline", budget, max_iterations=args.iterations)
+    result = (
+        baseline
+        if args.planner == "baseline"
+        else run_task(task, args.planner, budget)
+    )
+    breakdown = result.time_breakdown()
+    rows = [
+        {
+            "planner": args.planner,
+            "iterations": result.num_iterations,
+            "normalized_time": result.normalized_time(baseline),
+            "mean_iter_ms": 1e3 * result.mean_iteration_time(),
+            "peak_used_gb": result.peak_in_use / GB,
+            "peak_reserved_gb": result.peak_reserved / GB,
+            "recompute_s": breakdown["recompute_time"],
+            "overhead_frac": result.overhead_fraction(),
+            "oom_iterations": result.oom_count,
+        }
+    ]
+    print(
+        render_table(
+            rows,
+            title=f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)",
+        )
+    )
+    return 0 if result.succeeded else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    task = load_task(args.task, iterations=args.iterations, seed=args.seed)
+    budgets = task.default_budgets(args.points)
+    planners = args.planners.split(",") if args.planners else list(PLANNER_NAMES)
+    results = sweep(task, planners, budgets)
+    baseline = next(r for r in results if r.planner_name == "baseline")
+    rows = []
+    for r in results:
+        rows.append(
+            {
+                "planner": r.planner_name,
+                "budget_gb": r.budget_bytes / GB,
+                "normalized_time": r.normalized_time(baseline),
+                "peak_reserved_gb": r.peak_reserved / GB,
+                "oom": r.oom_count,
+            }
+        )
+    print(render_table(rows, title=f"{args.task} sweep"))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    if args.number == 1:
+        print(render_table(tables.table1_rows(), title="Table I"))
+    elif args.number == 3:
+        print(render_table(tables.table3_rows(iterations=args.iterations), title="Table III"))
+    elif args.number == 4:
+        print(render_table(tables.table4_rows(), title="Table IV"))
+    elif args.number == 5:
+        print(render_table(tables.table5_rows(), title="Table V"))
+    else:
+        print(f"no generator for table {args.number}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Mimose reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list tasks/planners/models").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser(
+        "bounds", help="per-task memory bounds and default budgets"
+    ).set_defaults(func=_cmd_bounds)
+
+    run_p = sub.add_parser("run", help="run one task x planner x budget")
+    run_p.add_argument("--task", choices=sorted(TASKS), required=True)
+    run_p.add_argument("--planner", choices=PLANNER_NAMES, default="mimose")
+    run_p.add_argument("--budget-gb", type=float, required=True)
+    run_p.add_argument("--iterations", type=int, default=60)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="Fig 10-style budget sweep")
+    sweep_p.add_argument("--task", choices=sorted(TASKS), required=True)
+    sweep_p.add_argument("--planners", default="")
+    sweep_p.add_argument("--points", type=int, default=4)
+    sweep_p.add_argument("--iterations", type=int, default=60)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    table_p = sub.add_parser("table", help="regenerate a paper table")
+    table_p.add_argument("number", type=int, choices=(1, 3, 4, 5))
+    table_p.add_argument("--iterations", type=int, default=120)
+    table_p.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

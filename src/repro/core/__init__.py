@@ -1,0 +1,58 @@
+"""Mimose — the paper's contribution.
+
+The input-aware checkpointing planner (§IV) and its three components:
+
+* :class:`~repro.core.collector.ShuttlingCollector` — online per-unit
+  memory/time measurement via double-forward sheltered execution (§IV-B);
+* :class:`~repro.core.estimator.LightningMemoryEstimator` — per-unit
+  polynomial regression of activation memory vs input size (§IV-C), with
+  the alternative regression families of Table IV in
+  :mod:`repro.core.estimators`;
+* :class:`~repro.core.scheduler.GreedyScheduler` — Algorithm 1's
+  bucketed greedy selection (§IV-D), behind a pluggable
+  :class:`~repro.core.scheduler.Scheduler` interface;
+* :class:`~repro.core.plan_cache.PlanCache` — input-size-keyed plan reuse
+  (§V);
+
+all orchestrated by :class:`~repro.core.planner.MimosePlanner`.
+"""
+
+from repro.core.adaptive import ResidualTracker
+from repro.core.collector import CollectedSample, ShuttlingCollector
+from repro.core.estimators import (
+    DecisionTreeRegressor,
+    GradientBoostedTrees,
+    PolynomialRegressor,
+    Regressor,
+    SupportVectorRegressor,
+    make_regressor,
+)
+from repro.core.estimator import EstimatorReport, LightningMemoryEstimator
+from repro.core.plan_cache import PlanCache
+from repro.core.scheduler import (
+    GreedyScheduler,
+    KnapsackScheduler,
+    Scheduler,
+    SchedulerInput,
+)
+from repro.core.planner import MimosePlanner
+
+__all__ = [
+    "ResidualTracker",
+    "CollectedSample",
+    "ShuttlingCollector",
+    "DecisionTreeRegressor",
+    "GradientBoostedTrees",
+    "PolynomialRegressor",
+    "Regressor",
+    "SupportVectorRegressor",
+    "make_regressor",
+    "EstimatorReport",
+    "LightningMemoryEstimator",
+    "PlanCache",
+    "GreedyScheduler",
+    "KnapsackScheduler",
+    "Scheduler",
+    "SchedulerInput",
+    "MimosePlanner",
+]

@@ -1,0 +1,113 @@
+"""Adaptive safety margin for the memory estimator (paper future work).
+
+§IV-C closes with: "we plan to apply some adaptive algorithms to the
+memory estimator" for structures whose memory is content-dependent (e.g.
+detection proposals).  This module implements the natural such algorithm:
+a conformal-style residual tracker.  After every responsive iteration the
+planner records how far the *actual* peak exceeded the *predicted* peak;
+the tracker maintains an upper quantile of those relative overshoots over
+a sliding window, and the planner inflates future predictions by that
+margin instead of relying on a fixed reserve alone.
+
+The margin converges quickly: after a handful of iterations it covers the
+estimator's systematic bias (e.g. allocator rounding, aspect-ratio
+scatter on vision inputs) without the OOM-retry cycle a fixed reserve
+needs when it is set too small.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ResidualTracker:
+    """Sliding-window quantile of relative prediction overshoot.
+
+    Args:
+        window: number of recent residuals retained.
+        quantile: upper quantile of overshoot to report (0.95 covers all
+            but the most extreme 5 % of observed behaviour).
+        initial_margin: margin reported before any residuals exist.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        quantile: float = 0.95,
+        initial_margin: float = 0.02,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if initial_margin < 0:
+            raise ValueError("initial margin must be non-negative")
+        self.window = window
+        self.quantile = quantile
+        self.initial_margin = initial_margin
+        self._residuals: deque[float] = deque(maxlen=window)
+
+    def record(self, predicted_bytes: int, actual_bytes: int) -> None:
+        """Record one (prediction, observation) pair.
+
+        Only positive overshoot matters for safety; underestimation of
+        the *observation* (actual < predicted) is recorded as zero so the
+        quantile never drifts negative.
+        """
+        if predicted_bytes <= 0:
+            raise ValueError("prediction must be positive")
+        overshoot = max(0.0, actual_bytes / predicted_bytes - 1.0)
+        self._residuals.append(overshoot)
+
+    def margin(self) -> float:
+        """Current relative safety margin (>= 0)."""
+        if not self._residuals:
+            return self.initial_margin
+        ordered = sorted(self._residuals)
+        idx = min(len(ordered) - 1, int(self.quantile * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._residuals)
+
+    def clear(self) -> None:
+        self._residuals.clear()
+
+
+class QuantileTracker:
+    """Sliding-window upper quantile of absolute observations (bytes).
+
+    Used for quantities that do not scale with the prediction — chiefly
+    allocator fragmentation, which depends on the shape churn rather than
+    on the model's activation volume.
+    """
+
+    def __init__(self, window: int = 64, quantile: float = 0.95) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        self.window = window
+        self.quantile = quantile
+        self._values: deque[float] = deque(maxlen=window)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("observations must be non-negative")
+        self._values.append(value)
+
+    def value(self) -> float:
+        """Current quantile (0 before any observation)."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        idx = min(len(ordered) - 1, int(self.quantile * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()

@@ -1,0 +1,108 @@
+"""Shuttling online collector (§IV-B).
+
+During sheltered execution the executor runs every checkpointable unit's
+forward twice (Fig 7) while keeping the Sublinear memory footprint, and
+reports per-unit :class:`~repro.engine.stats.UnitMeasurement`s.  The
+collector accumulates those samples — one (input size → activation bytes,
+forward time) point per unit per sheltered iteration — until it has enough
+to train the memory estimator.
+
+The collector never touches the model: everything it knows arrived through
+measurements, which is the paper's "no prior knowledge" constraint.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.stats import UnitMeasurement
+
+
+@dataclass(frozen=True, slots=True)
+class CollectedSample:
+    """One (input size, activation bytes, forward seconds) sample."""
+
+    input_size: int
+    saved_bytes: int
+    fwd_time: float
+
+
+class ShuttlingCollector:
+    """Accumulates sheltered-execution measurements per unit.
+
+    Args:
+        min_iterations: sheltered iterations before the estimator may be
+            trained (the paper uses 10, §V).
+        min_distinct_sizes: distinct input sizes required — a quadratic
+            needs at least three, and noise-robustness wants a few more.
+    """
+
+    def __init__(self, min_iterations: int = 10, min_distinct_sizes: int = 4) -> None:
+        if min_iterations < 1:
+            raise ValueError("min_iterations must be >= 1")
+        if min_distinct_sizes < 3:
+            raise ValueError("a quadratic fit needs >= 3 distinct sizes")
+        self.min_iterations = min_iterations
+        self.min_distinct_sizes = min_distinct_sizes
+        self._samples: dict[str, list[CollectedSample]] = defaultdict(list)
+        self._iterations = 0
+        self._seen_sizes: set[int] = set()
+
+    # ---------------------------------------------------------------- ingest
+
+    def ingest(self, measurements: Iterable[UnitMeasurement]) -> None:
+        """Record one sheltered iteration's measurements."""
+        any_seen = False
+        for m in measurements:
+            self._samples[m.unit_name].append(
+                CollectedSample(m.input_size, m.saved_bytes, m.fwd_time)
+            )
+            self._seen_sizes.add(m.input_size)
+            any_seen = True
+        if any_seen:
+            self._iterations += 1
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def iterations_collected(self) -> int:
+        return self._iterations
+
+    @property
+    def distinct_sizes(self) -> int:
+        return len(self._seen_sizes)
+
+    @property
+    def max_seen_size(self) -> int:
+        return max(self._seen_sizes, default=0)
+
+    def is_ready(self) -> bool:
+        """Whether enough data exists to train the estimator."""
+        return (
+            self._iterations >= self.min_iterations
+            and len(self._seen_sizes) >= self.min_distinct_sizes
+        )
+
+    def unit_names(self) -> list[str]:
+        return sorted(self._samples)
+
+    def samples(self, unit_name: str) -> Sequence[CollectedSample]:
+        return tuple(self._samples.get(unit_name, ()))
+
+    def training_data(self) -> Mapping[str, tuple[list[int], list[int], list[float]]]:
+        """Per-unit (input sizes, byte sizes, forward times) arrays."""
+        out: dict[str, tuple[list[int], list[int], list[float]]] = {}
+        for name, rows in self._samples.items():
+            out[name] = (
+                [r.input_size for r in rows],
+                [r.saved_bytes for r in rows],
+                [r.fwd_time for r in rows],
+            )
+        return out
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._seen_sizes.clear()
+        self._iterations = 0

@@ -1,0 +1,179 @@
+"""Lightning memory estimator (§IV-C).
+
+One regression model per unit maps the iteration input size to the unit's
+activation bytes (and a second maps it to the unit's forward time, used
+for diagnostics and pluggable cost-aware schedulers).  §IV-C's operator
+analysis shows activation memory is at most quadratic in the input size,
+so the default family is the quadratic polynomial — Table IV's winner.
+
+Fit and predict wall times are measured with ``time.perf_counter`` because
+they are *genuine* planner costs on the critical path (the same Python
+work the real Mimose does), unlike model compute, which is simulated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.collector import ShuttlingCollector
+from repro.core.estimators import PolynomialRegressor, Regressor
+
+
+@dataclass(frozen=True, slots=True)
+class EstimatorReport:
+    """Fit-quality and latency summary (Tables IV/V source)."""
+
+    regressor_name: str
+    num_units: int
+    num_samples: int
+    train_time_s: float
+    predict_latency_s: float
+    relative_error: float
+
+
+class LightningMemoryEstimator:
+    """Per-unit regression of activation memory (and time) vs input size.
+
+    Args:
+        regressor_factory: builds a fresh :class:`Regressor` per unit
+            (default: quadratic polynomial).
+    """
+
+    def __init__(
+        self,
+        regressor_factory: Callable[[], Regressor] | None = None,
+    ) -> None:
+        self._factory = regressor_factory or (lambda: PolynomialRegressor(2))
+        self._mem_models: dict[str, Regressor] = {}
+        self._time_models: dict[str, Regressor] = {}
+        self._base_model: Regressor | None = None
+        self._last_fit_time = 0.0
+        self._max_trained_size = 0
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, collector: ShuttlingCollector) -> float:
+        """Train one memory and one time model per unit.
+
+        Returns the wall-clock fit time in seconds.
+        """
+        data = collector.training_data()
+        if not data:
+            raise ValueError("collector holds no samples")
+        start = time.perf_counter()
+        mem_models: dict[str, Regressor] = {}
+        time_models: dict[str, Regressor] = {}
+        max_size = 0
+        for unit, (sizes, bytes_, times) in data.items():
+            mem_models[unit] = self._factory().fit(sizes, bytes_)
+            time_models[unit] = self._factory().fit(sizes, times)
+            max_size = max(max_size, max(sizes))
+        elapsed = time.perf_counter() - start
+        self._mem_models = mem_models
+        self._time_models = time_models
+        self._last_fit_time = elapsed
+        self._max_trained_size = max_size
+        return elapsed
+
+    def fit_base(self, sizes: list[int], peak_bytes: list[int]) -> None:
+        """Fit the sheltered-peak model: the full-checkpoint iteration peak
+        as a function of input size (measured during sheltered execution).
+
+        This is the floor on top of which each *kept* unit adds its
+        activation bytes, so Mimose can predict the peak of any plan.
+        """
+        self._base_model = self._factory().fit(sizes, peak_bytes)
+
+    def predict_base(self, input_size: int) -> int:
+        """Predicted full-checkpoint peak for one input size."""
+        if self._base_model is None:
+            raise RuntimeError("base model is not fitted")
+        return max(0, int(self._base_model.predict(input_size)))
+
+    @property
+    def has_base(self) -> bool:
+        return self._base_model is not None
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._mem_models)
+
+    @property
+    def last_fit_time(self) -> float:
+        return self._last_fit_time
+
+    @property
+    def max_trained_size(self) -> int:
+        """Largest input size seen during training (extrapolation guard)."""
+        return self._max_trained_size
+
+    def unit_names(self) -> list[str]:
+        return sorted(self._mem_models)
+
+    # --------------------------------------------------------------- predict
+
+    def predict_bytes(self, unit_name: str, input_size: int) -> int:
+        """Predicted activation bytes of one unit (clamped non-negative)."""
+        model = self._mem_models.get(unit_name)
+        if model is None:
+            raise KeyError(f"no memory model for unit {unit_name!r}")
+        return max(0, int(model.predict(input_size)))
+
+    def predict_time(self, unit_name: str, input_size: int) -> float:
+        model = self._time_models.get(unit_name)
+        if model is None:
+            raise KeyError(f"no time model for unit {unit_name!r}")
+        return max(0.0, float(model.predict(input_size)))
+
+    def predict_all_bytes(self, input_size: int) -> dict[str, int]:
+        """Per-unit predicted activation bytes for one input size."""
+        return {
+            name: max(0, int(model.predict(input_size)))
+            for name, model in self._mem_models.items()
+        }
+
+    def total_bytes(self, input_size: int) -> int:
+        return sum(self.predict_all_bytes(input_size).values())
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(
+        self,
+        truth: Mapping[int, Mapping[str, int]],
+    ) -> EstimatorReport:
+        """Compare summed per-unit predictions against ground truth.
+
+        Args:
+            truth: ``{input_size: {unit_name: actual_bytes}}`` — e.g. from
+                held-out collector runs.
+
+        The relative error is the paper's metric: |sum(pred) - sum(actual)|
+        / sum(actual), averaged over the evaluated input sizes.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("estimator is not fitted")
+        if not truth:
+            raise ValueError("no ground truth provided")
+        errors = []
+        latencies = []
+        num_samples = 0
+        for size, per_unit in truth.items():
+            actual = sum(per_unit.values())
+            start = time.perf_counter()
+            predicted = sum(
+                self.predict_bytes(u, size) for u in per_unit
+            )
+            latencies.append(time.perf_counter() - start)
+            num_samples += 1
+            if actual > 0:
+                errors.append(abs(predicted - actual) / actual)
+        return EstimatorReport(
+            regressor_name=self._factory().name,
+            num_units=len(self._mem_models),
+            num_samples=num_samples,
+            train_time_s=self._last_fit_time,
+            predict_latency_s=sum(latencies) / max(len(latencies), 1),
+            relative_error=sum(errors) / max(len(errors), 1),
+        )

@@ -1,0 +1,165 @@
+"""Responsive memory scheduler (§IV-D, Algorithm 1).
+
+Given per-unit estimated activation sizes and the forward execution order,
+pick the units to checkpoint so the estimated excess over the budget is
+covered, preferring:
+
+1. the layer whose activation size is *nearest above* the remaining excess
+   (avoid over-dropping), falling back to the largest layer when none
+   covers it alone;
+2. within a ±10 % size bucket, the layer with the *earliest* forward
+   timestamp — checkpointing late layers barely lowers the peak because
+   their recompute happens while everything else is still resident
+   (Fig 9).
+
+A pluggable :class:`Scheduler` interface is kept, as the paper promises
+("Mimose still reserves a flexible interface for users to experiment with
+other scheduling algorithms"); :class:`KnapsackScheduler` is the
+Knapsack-style alternative it mentions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerInput:
+    """Everything a scheduler may consider for one input size.
+
+    Attributes:
+        est_bytes: estimated activation bytes per checkpointable unit.
+        order: forward timestamp (index) per unit.
+        excess_bytes: estimated bytes beyond the usable budget that the
+            plan must release.
+        est_time: optional estimated forward (recompute) seconds per unit.
+    """
+
+    est_bytes: Mapping[str, int]
+    order: Mapping[str, int]
+    excess_bytes: int
+    est_time: Mapping[str, float] | None = None
+
+
+class Scheduler:
+    """Strategy interface: pick the units to checkpoint."""
+
+    name = "scheduler"
+
+    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
+        raise NotImplementedError
+
+
+class GreedyScheduler(Scheduler):
+    """Algorithm 1: bucketed greedy selection.
+
+    Args:
+        bucket_tolerance: relative width of a similarity bucket; 0.10 is
+            the paper's ±10 %.
+    """
+
+    name = "greedy"
+
+    def __init__(self, bucket_tolerance: float = 0.10) -> None:
+        if not 0.0 <= bucket_tolerance < 1.0:
+            raise ValueError("bucket_tolerance must be in [0, 1)")
+        self.bucket_tolerance = bucket_tolerance
+
+    def build_buckets(self, inp: SchedulerInput) -> list[list[str]]:
+        """Group units of similar estimated size (Algorithm 1 lines 2-12).
+
+        Buckets are ordered by descending size; units inside a bucket by
+        ascending forward timestamp.
+        """
+        remaining = sorted(
+            inp.est_bytes, key=lambda u: inp.est_bytes[u], reverse=True
+        )
+        buckets: list[list[str]] = []
+        i = 0
+        while i < len(remaining):
+            head = remaining[i]
+            head_size = inp.est_bytes[head]
+            floor = head_size * (1.0 - self.bucket_tolerance)
+            j = i + 1
+            while j < len(remaining) and inp.est_bytes[remaining[j]] > floor:
+                j += 1
+            bucket = sorted(remaining[i:j], key=lambda u: inp.order[u])
+            buckets.append(bucket)
+            i = j
+        return buckets
+
+    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
+        if inp.excess_bytes <= 0:
+            return frozenset()
+        buckets = self.build_buckets(inp)
+        chosen: list[str] = []
+        excess = inp.excess_bytes
+        while excess > 0 and buckets:
+            # Buckets whose largest member alone covers the excess
+            # (Algorithm 1 line 15); choose the tightest one.
+            candidates = [
+                b for b in buckets
+                if max(inp.est_bytes[u] for u in b) >= excess
+            ]
+            if candidates:
+                bucket = min(
+                    candidates, key=lambda b: max(inp.est_bytes[u] for u in b)
+                )
+            else:
+                bucket = buckets[0]  # largest activations first
+            unit = bucket.pop(0)  # earliest timestamp inside the bucket
+            if not bucket:
+                buckets.remove(bucket)
+            chosen.append(unit)
+            excess -= inp.est_bytes[unit]
+        return frozenset(chosen)
+
+
+class KnapsackScheduler(Scheduler):
+    """Exact alternative: minimise recompute time subject to coverage.
+
+    Solves min sum(time_u) over subsets with sum(bytes_u) >= excess via DP
+    on quantised bytes.  Useful as an ablation upper bound on plan quality;
+    slower than the greedy pass but still sub-millisecond at unit counts.
+    """
+
+    name = "knapsack"
+    _QUANTUM = 1 << 20  # 1 MiB
+
+    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
+        if inp.excess_bytes <= 0:
+            return frozenset()
+        units = list(inp.est_bytes)
+        times = {
+            u: (inp.est_time[u] if inp.est_time else float(inp.order[u] + 1))
+            for u in units
+        }
+        need = math.ceil(inp.excess_bytes / self._QUANTUM)
+        sizes = {u: max(1, inp.est_bytes[u] // self._QUANTUM) for u in units}
+        total = sum(sizes.values())
+        if total < need:
+            return frozenset(units)  # even everything falls short; drop all
+        # rows[i][c] = min time to cover >= c quanta using the first i units
+        inf = float("inf")
+        rows: list[list[float]] = [[0.0] + [inf] * need]
+        for u in units:
+            w, t = sizes[u], times[u]
+            prev = rows[-1]
+            cur = prev[:]
+            for c in range(1, need + 1):
+                src = prev[max(0, c - w)] + t
+                if src < cur[c]:
+                    cur[c] = src
+            rows.append(cur)
+        if rows[-1][need] == inf:
+            return frozenset(units)
+        chosen: list[str] = []
+        c = need
+        for i in range(len(units), 0, -1):
+            if rows[i][c] != rows[i - 1][c]:
+                u = units[i - 1]
+                chosen.append(u)
+                c = max(0, c - sizes[u])
+        return frozenset(chosen)

@@ -1,0 +1,43 @@
+"""Synthetic workloads reproducing the paper's input-tensor dynamics.
+
+The planner under test only ever sees the collated batch tensor's shape,
+so reproducing the *distribution* of input sizes reproduces the dynamics
+the paper exploits.  Samplers are calibrated to the Fig 3 ranges
+(SWAG 35–141, SQuAD 153–512, GLUE-QQP 30–332, UN_PC 17–460 tokens) and to
+COCO's multi-scale resize augmentation (shorter side 480–800, longer side
+capped at 1333, aspect ratio preserved — §II-A).
+"""
+
+from repro.data.distributions import (
+    EmpiricalSampler,
+    PowerLawSampler,
+    Sampler,
+    TruncatedNormalSampler,
+    UniformSampler,
+)
+from repro.data.augment import (
+    MultiScaleResize,
+    TokenizerSim,
+    pad_and_truncate,
+)
+from repro.data.datasets import (
+    DataLoader,
+    SyntheticCocoDataset,
+    SyntheticTextDataset,
+    make_dataset,
+)
+
+__all__ = [
+    "EmpiricalSampler",
+    "PowerLawSampler",
+    "Sampler",
+    "TruncatedNormalSampler",
+    "UniformSampler",
+    "MultiScaleResize",
+    "TokenizerSim",
+    "pad_and_truncate",
+    "DataLoader",
+    "SyntheticCocoDataset",
+    "SyntheticTextDataset",
+    "make_dataset",
+]

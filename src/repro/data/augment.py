@@ -1,0 +1,93 @@
+"""Data-augmentation simulation: tokenisation, resizing, padding (§II-A).
+
+The training pipeline's pre-processing stages are simulated at the shape
+level: a tokenizer maps raw text lengths to token counts; multi-scale
+resize maps raw image dimensions to augmented ones; padding/truncation
+collates ragged samples into one rectangular batch tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TokenizerSim:
+    """Subword tokenisation as a stochastic expansion of word counts.
+
+    Real tokenizers emit ~1.2–1.4 subword tokens per word plus special
+    tokens; the exact factor varies per sample.
+    """
+
+    expansion_mean: float = 1.3
+    expansion_std: float = 0.08
+    special_tokens: int = 2
+
+    def tokenize_length(self, words: int, rng: np.random.Generator) -> int:
+        if words < 0:
+            raise ValueError("word count cannot be negative")
+        factor = max(1.0, rng.normal(self.expansion_mean, self.expansion_std))
+        return int(round(words * factor)) + self.special_tokens
+
+
+def pad_and_truncate(lengths: Sequence[int], max_length: int) -> int:
+    """Collated sequence length of a batch: pad to the max, truncate at cap.
+
+    Returns the single padded length every sample in the batch gets
+    (§II-A: "smaller samples in a mini-batch are padded to match the
+    largest sample, whereas the samples too large to be handled are
+    truncated smaller").
+    """
+    if not lengths:
+        raise ValueError("cannot collate an empty batch")
+    if max_length < 1:
+        raise ValueError("max_length must be positive")
+    return min(max(lengths), max_length)
+
+
+@dataclass(frozen=True)
+class MultiScaleResize:
+    """DETR/Sparse-R-CNN/Swin-style multi-scale resize (§II-A).
+
+    Randomly rescales so the shorter side lands on one of the configured
+    scales (480–800 by default) while the longer side stays at most
+    ``max_long``; aspect ratio is preserved.
+    """
+
+    min_short: int = 480
+    max_short: int = 800
+    short_step: int = 32
+    max_long: int = 1333
+
+    def __post_init__(self) -> None:
+        if self.min_short > self.max_short or self.min_short < 1:
+            raise ValueError("invalid short-side range")
+        if self.max_long < self.max_short:
+            raise ValueError("max_long must be >= max_short")
+
+    def scales(self) -> list[int]:
+        return list(range(self.min_short, self.max_short + 1, self.short_step))
+
+    def resize(
+        self, height: int, width: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Augmented (height, width) for one raw image."""
+        if height < 1 or width < 1:
+            raise ValueError("image dimensions must be positive")
+        scales = self.scales()
+        target_short = int(scales[rng.integers(0, len(scales))])
+        short, long_ = (height, width) if height <= width else (width, height)
+        ratio = target_short / short
+        new_long = long_ * ratio
+        if new_long > self.max_long:
+            ratio = self.max_long / long_
+        new_h = max(1, int(round(height * ratio)))
+        new_w = max(1, int(round(width * ratio)))
+        return new_h, new_w
+
+    def worst_case(self) -> tuple[int, int]:
+        """Largest possible augmented dimensions (for static planners)."""
+        return self.max_short, self.max_long

@@ -1,0 +1,117 @@
+"""Seeded integer samplers for sample lengths and image dimensions.
+
+§III-A observes that input sizes "tend to follow a certain probability
+distribution, such as normal distribution and power-law distribution";
+these samplers are the corresponding families, all driven by a
+``numpy.random.Generator`` for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class Sampler:
+    """Draws integers from a distribution."""
+
+    def sample(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[int]:
+        return [self.sample(rng) for _ in range(n)]
+
+    @property
+    def support(self) -> tuple[int, int]:
+        """Inclusive (lo, hi) bounds of possible draws."""
+        raise NotImplementedError
+
+
+class UniformSampler(Sampler):
+    """Uniform integers on [lo, hi]."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi or lo < 1:
+            raise ValueError(f"invalid uniform range [{lo}, {hi}]")
+        self.lo, self.hi = lo, hi
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return self.lo, self.hi
+
+
+class TruncatedNormalSampler(Sampler):
+    """Normal(mean, std) rejected-and-clamped to [lo, hi]."""
+
+    def __init__(self, mean: float, std: float, lo: int, hi: int) -> None:
+        if std <= 0:
+            raise ValueError("std must be positive")
+        if lo > hi or lo < 1:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        self.mean, self.std, self.lo, self.hi = mean, std, lo, hi
+
+    def sample(self, rng: np.random.Generator) -> int:
+        for _ in range(64):
+            x = rng.normal(self.mean, self.std)
+            if self.lo <= x <= self.hi:
+                return int(round(x))
+        return int(min(max(self.mean, self.lo), self.hi))
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return self.lo, self.hi
+
+
+class PowerLawSampler(Sampler):
+    """Pareto-style heavy tail on [lo, hi]: p(x) ~ x^-alpha.
+
+    Text corpora (question pairs, parallel sentences) skew short with a
+    long tail; larger ``alpha`` means a heavier concentration near ``lo``.
+    """
+
+    def __init__(self, alpha: float, lo: int, hi: int) -> None:
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for a normalisable tail")
+        if lo > hi or lo < 1:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        self.alpha, self.lo, self.hi = alpha, lo, hi
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # inverse-CDF sampling of a truncated Pareto
+        a = 1.0 - self.alpha
+        lo_p = self.lo**a
+        hi_p = self.hi**a
+        u = rng.random()
+        x = (lo_p + u * (hi_p - lo_p)) ** (1.0 / a)
+        return int(min(max(round(x), self.lo), self.hi))
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return self.lo, self.hi
+
+
+class EmpiricalSampler(Sampler):
+    """Draws from an explicit value/weight table."""
+
+    def __init__(self, values: Sequence[int], weights: Sequence[float] | None = None) -> None:
+        if not values:
+            raise ValueError("empirical sampler needs values")
+        self.values = np.asarray(values, dtype=int)
+        if weights is None:
+            self.probs = np.full(len(values), 1.0 / len(values))
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != self.values.shape or (w < 0).any() or w.sum() <= 0:
+                raise ValueError("weights must be non-negative and match values")
+            self.probs = w / w.sum()
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.values, p=self.probs))
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return int(self.values.min()), int(self.values.max())

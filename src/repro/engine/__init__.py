@@ -1,0 +1,25 @@
+"""Simulated training engine.
+
+:class:`~repro.engine.executor.TrainingExecutor` runs training iterations of
+a :class:`~repro.models.base.SegmentedModel` against the tensorsim substrate
+under the direction of a :class:`~repro.planners.base.Planner`, producing
+:class:`~repro.engine.stats.IterationStats` with the timing/memory breakdown
+every figure and table in the paper is computed from.
+"""
+
+from repro.engine.stats import IterationStats, RunResult, UnitMeasurement
+from repro.engine.executor import IterationOOM, TrainingExecutor
+from repro.engine.trace import MemoryTimeline, TimelinePoint
+from repro.engine.ddp import DataParallelExecutor, DdpStepStats
+
+__all__ = [
+    "IterationStats",
+    "RunResult",
+    "UnitMeasurement",
+    "IterationOOM",
+    "TrainingExecutor",
+    "MemoryTimeline",
+    "TimelinePoint",
+    "DataParallelExecutor",
+    "DdpStepStats",
+]

@@ -1,0 +1,170 @@
+"""Per-iteration and per-run measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class UnitMeasurement:
+    """What the shuttling collector measures for one unit (Fig 7).
+
+    Attributes:
+        unit_name: the measured unit.
+        input_size: element count of the *iteration* input tensor.
+        saved_bytes: activation bytes the unit pins until backward,
+            as observed from allocator deltas (includes alignment rounding).
+        fwd_time: one forward execution of the unit, seconds.
+    """
+
+    unit_name: str
+    input_size: int
+    saved_bytes: int
+    fwd_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class IterationStats:
+    """Complete timing/memory breakdown of one training iteration."""
+
+    iteration: int
+    input_size: int
+    input_shape: tuple[int, ...]
+    mode: str
+    plan_label: str
+    num_checkpointed: int
+    # --- time components (simulated seconds) ---
+    fwd_time: float
+    bwd_time: float
+    recompute_time: float
+    collect_time: float  # the extra shuttling forward in COLLECT mode
+    planning_time: float  # plan generation / estimator / eviction search
+    upkeep_time: float  # per-tensor metadata maintenance (DTR)
+    optimizer_time: float
+    # --- memory ---
+    peak_in_use: int
+    peak_reserved: int
+    end_in_use: int
+    fragmentation_bytes: int
+    # --- events ---
+    evictions: int = 0
+    oom: bool = False
+    measurements: tuple[UnitMeasurement, ...] = ()
+    # --- swapping (hybrid planners only) ---
+    swap_stall_time: float = 0.0  # backward stalls waiting for PCIe swap-in
+    num_swapped: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.fwd_time
+            + self.bwd_time
+            + self.recompute_time
+            + self.collect_time
+            + self.planning_time
+            + self.upkeep_time
+            + self.optimizer_time
+            + self.swap_stall_time
+        )
+
+    @property
+    def compute_time(self) -> float:
+        """Productive compute only (what a zero-overhead planner would cost)."""
+        return self.fwd_time + self.bwd_time + self.optimizer_time
+
+    @property
+    def overhead_time(self) -> float:
+        return self.total_time - self.compute_time
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Aggregation over a full training run (one task × planner × budget)."""
+
+    task_name: str
+    planner_name: str
+    budget_bytes: int
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    def append(self, stats: IterationStats) -> None:
+        self.iterations.append(stats)
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.total_time for s in self.iterations)
+
+    @property
+    def peak_in_use(self) -> int:
+        return max((s.peak_in_use for s in self.iterations), default=0)
+
+    @property
+    def peak_reserved(self) -> int:
+        return max((s.peak_reserved for s in self.iterations), default=0)
+
+    @property
+    def oom_count(self) -> int:
+        return sum(1 for s in self.iterations if s.oom)
+
+    @property
+    def succeeded(self) -> bool:
+        """A run 'trains successfully' iff no iteration hit a fatal OOM."""
+        return self.num_iterations > 0 and self.oom_count == 0
+
+    def mean_iteration_time(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return self.total_time / len(self.iterations)
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Summed per-component times (Fig 5 / Table III source)."""
+        keys = (
+            "fwd_time",
+            "bwd_time",
+            "recompute_time",
+            "collect_time",
+            "planning_time",
+            "upkeep_time",
+            "optimizer_time",
+        )
+        return {k: sum(getattr(s, k) for s in self.iterations) for k in keys}
+
+    def overhead_fraction(self) -> float:
+        """Fraction of total time not spent on productive compute."""
+        total = self.total_time
+        if total == 0:
+            return 0.0
+        return sum(s.overhead_time for s in self.iterations) / total
+
+    def normalized_time(self, baseline: "RunResult") -> float:
+        """This run's total time relative to a baseline run (Fig 10 y-axis)."""
+        if baseline.total_time == 0:
+            raise ValueError("baseline has no recorded time")
+        return self.total_time / baseline.total_time
+
+
+def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
+    """Flat summary rows for reporting (one per run)."""
+    rows: list[dict[str, object]] = []
+    for r in runs:
+        rows.append(
+            {
+                "task": r.task_name,
+                "planner": r.planner_name,
+                "budget_gb": r.budget_bytes / 1024**3,
+                "iterations": r.num_iterations,
+                "total_time_s": r.total_time,
+                "mean_iter_ms": 1e3 * r.mean_iteration_time(),
+                "peak_in_use_gb": r.peak_in_use / 1024**3,
+                "peak_reserved_gb": r.peak_reserved / 1024**3,
+                "overhead_frac": r.overhead_fraction(),
+                "succeeded": r.succeeded,
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Experiment harness: Table II tasks, runs/sweeps, and the generators for
+every figure and table in the paper's evaluation (§VI) plus the motivation
+figures (§III)."""
+
+from repro.experiments.tasks import TaskContext, TaskSpec, TASKS, load_task
+from repro.experiments.runner import make_planner, run_task, sweep, PLANNER_NAMES
+from repro.experiments import analysis, figures, tables
+from repro.experiments.report import render_table, render_series
+
+__all__ = [
+    "TaskContext",
+    "TaskSpec",
+    "TASKS",
+    "load_task",
+    "make_planner",
+    "run_task",
+    "sweep",
+    "PLANNER_NAMES",
+    "analysis",
+    "figures",
+    "tables",
+    "render_table",
+    "render_series",
+]

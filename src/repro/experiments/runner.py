@@ -1,0 +1,121 @@
+"""Run one (task, planner, budget) combination and sweep grids of them."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.planner import MimosePlanner
+from repro.engine.executor import TrainingExecutor
+from repro.engine.stats import RunResult
+from repro.engine.trace import MemoryTimeline
+from repro.experiments.tasks import TaskContext
+from repro.planners.base import ModelView, Planner
+from repro.planners.capuchin import CapuchinPlanner
+from repro.planners.checkmate import CheckmatePlanner
+from repro.planners.dtr import DTRPlanner
+from repro.planners.monet import MonetPlanner
+from repro.planners.none import NoCheckpointPlanner
+from repro.planners.sublinear import SublinearPlanner
+from repro.tensorsim.device import DeviceModel, V100
+
+PLANNER_NAMES = (
+    "baseline", "sublinear", "checkmate", "monet", "dtr", "capuchin", "mimose"
+)
+
+
+def make_planner(name: str, budget_bytes: int, task: TaskContext) -> Planner:
+    """Construct a planner by name, wired to the task's offline knowledge.
+
+    Static planners receive the shapes their papers allow them to know
+    offline; Mimose receives only the budget.
+    """
+    if name == "baseline":
+        return NoCheckpointPlanner(budget_bytes)
+    if name == "sublinear":
+        return SublinearPlanner(budget_bytes, worst_case_batch=task.worst_case)
+    if name == "checkmate":
+        return CheckmatePlanner(
+            budget_bytes,
+            assumed_batch=task.assumed_static_batch(),
+            enforce_budget=task.spec.static_plan_for_worst_case,
+        )
+    if name == "monet":
+        return MonetPlanner(
+            budget_bytes,
+            assumed_batch=task.assumed_static_batch(),
+            enforce_budget=task.spec.static_plan_for_worst_case,
+        )
+    if name == "dtr":
+        return DTRPlanner(budget_bytes)
+    if name == "capuchin":
+        return CapuchinPlanner(budget_bytes)
+    if name == "mimose":
+        return MimosePlanner(budget_bytes)
+    raise KeyError(f"unknown planner {name!r}; available: {PLANNER_NAMES}")
+
+
+def run_task(
+    task: TaskContext,
+    planner_name: str,
+    budget_bytes: int,
+    *,
+    device: Optional[DeviceModel] = None,
+    timeline: Optional[MemoryTimeline] = None,
+    max_iterations: Optional[int] = None,
+) -> RunResult:
+    """Execute the task's loader under one planner and budget.
+
+    The executor capacity follows the planner contract: plan-based
+    planners that promise to respect the budget get exactly the budget;
+    reactive/static-overshooting ones get physical device memory so their
+    overshoot is observable (Fig 5 / Fig 10 annotations).
+    """
+    device = device or DeviceModel(V100)
+    model = task.fresh_model()
+    planner = make_planner(planner_name, budget_bytes, task)
+    planner.setup(ModelView(model))
+    capacity = (
+        device.memory_capacity
+        if planner.requires_physical_capacity
+        else budget_bytes
+    )
+    executor = TrainingExecutor(
+        model,
+        planner,
+        device=device,
+        capacity_bytes=capacity,
+        coalescing=planner.allocator_coalescing,
+        timeline=timeline,
+    )
+    result = RunResult(task.spec.abbr, planner_name, budget_bytes)
+    for i, batch in enumerate(task.loader):
+        if max_iterations is not None and i >= max_iterations:
+            break
+        result.append(executor.step(batch))
+    return result
+
+
+def sweep(
+    task: TaskContext,
+    planner_names: Iterable[str],
+    budgets: Iterable[int],
+    *,
+    device: Optional[DeviceModel] = None,
+    max_iterations: Optional[int] = None,
+) -> list[RunResult]:
+    """Grid of runs; the baseline (budget-independent) runs once."""
+    results: list[RunResult] = []
+    budgets = list(budgets)
+    for name in planner_names:
+        if name == "baseline":
+            results.append(
+                run_task(task, name, budgets[0], device=device,
+                         max_iterations=max_iterations)
+            )
+            continue
+        for budget in budgets:
+            results.append(
+                run_task(task, name, budget, device=device,
+                         max_iterations=max_iterations)
+            )
+    return results

@@ -1,0 +1,598 @@
+"""Primitive operator library with shape inference and cost models.
+
+Every operator implements :meth:`Op.profile`, mapping input
+:class:`~repro.tensorsim.tensor.TensorSpec`s to an :class:`OpProfile` that
+carries the output spec, forward/backward arithmetic and traffic costs, the
+parameter count, and which tensors the op must *save* until the backward
+pass.  The saved set is what activation checkpointing trades against
+recomputation, so it is the load-bearing part of this module.
+
+The categorisation follows §IV-C of the paper:
+
+* **elementwise** ops (ReLU, add, …) — output size equals input size;
+* **fixed-output-size** ops (AdaptiveAvgPool) — output size constant;
+* **implicit-reduction** ops (Linear, Conv, MaxPool) — output size linearly
+  related to input size through fixed hyper-parameters;
+* **structures** (attention) — compose to at-most-quadratic growth in the
+  iteration input size (the ``seqlen × seqlen`` score matrices).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tensorsim.dtypes import BOOL, DType, FLOAT32, INT64
+from repro.tensorsim.tensor import TensorSpec
+
+
+class ShapeError(ValueError):
+    """Raised when an operator receives incompatible input shapes."""
+
+
+@dataclass(frozen=True, slots=True)
+class OpProfile:
+    """The planner-visible footprint of one operator application.
+
+    Attributes:
+        output: spec of the op's output tensor.
+        flops: forward floating-point operations.
+        bytes_moved: forward DRAM traffic (bytes).
+        bwd_flops: backward floating-point operations.
+        bwd_bytes: backward DRAM traffic (bytes).
+        param_count: learnable parameters owned by this op.
+        saved: tensors that must stay resident until the backward pass
+            (beyond the op inputs, which are the previous ops' outputs).
+            The op output is listed here when the backward formula needs it.
+        saves_output: convenience flag — True when ``saved`` includes the
+            output tensor itself.
+    """
+
+    output: TensorSpec
+    flops: float
+    bytes_moved: float
+    bwd_flops: float
+    bwd_bytes: float
+    param_count: int = 0
+    saved: tuple[TensorSpec, ...] = ()
+    saves_output: bool = False
+
+    @property
+    def saved_bytes(self) -> int:
+        return sum(s.nbytes for s in self.saved)
+
+
+class Op:
+    """Base class for all operators."""
+
+    #: short human-readable operator family name
+    kind: str = "op"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        raise NotImplementedError
+
+    def _expect_arity(self, inputs: tuple[TensorSpec, ...], n: int) -> None:
+        if len(inputs) != n:
+            raise ShapeError(
+                f"{type(self).__name__} expects {n} input(s), got {len(inputs)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def _elementwise_profile(
+    out: TensorSpec,
+    *,
+    flops_per_elem: float = 1.0,
+    save_output: bool = False,
+    extra_saved: tuple[TensorSpec, ...] = (),
+    param_count: int = 0,
+) -> OpProfile:
+    n = out.numel
+    itemsize = out.dtype.itemsize
+    saved = (out,) + extra_saved if save_output else extra_saved
+    return OpProfile(
+        output=out,
+        flops=flops_per_elem * n,
+        bytes_moved=2.0 * n * itemsize,
+        bwd_flops=2.0 * flops_per_elem * n,
+        bwd_bytes=3.0 * n * itemsize,
+        param_count=param_count,
+        saved=saved,
+        saves_output=save_output,
+    )
+
+
+# --------------------------------------------------------------------------
+# Elementwise operators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Relu(Op):
+    """ReLU; saves its output (the backward needs the sign pattern)."""
+
+    kind = "elementwise"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        return _elementwise_profile(inputs[0], save_output=True)
+
+
+@dataclass(frozen=True, repr=False)
+class Gelu(Op):
+    """GELU activation; saves its input-shaped output for backward."""
+
+    kind = "elementwise"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        return _elementwise_profile(inputs[0], flops_per_elem=8.0, save_output=True)
+
+
+@dataclass(frozen=True, repr=False)
+class Tanh(Op):
+    kind = "elementwise"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        return _elementwise_profile(inputs[0], flops_per_elem=4.0, save_output=True)
+
+
+@dataclass(frozen=True, repr=False)
+class Add(Op):
+    """Elementwise addition of two same-shaped tensors; saves nothing."""
+
+    kind = "elementwise"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 2)
+        a, b = inputs
+        if a.shape != b.shape:
+            raise ShapeError(f"Add shapes differ: {a.shape} vs {b.shape}")
+        return _elementwise_profile(a)
+
+
+@dataclass(frozen=True, repr=False)
+class Mul(Op):
+    """Elementwise product; inputs are saved by their producers already."""
+
+    kind = "elementwise"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 2)
+        a, b = inputs
+        if a.shape != b.shape:
+            raise ShapeError(f"Mul shapes differ: {a.shape} vs {b.shape}")
+        return _elementwise_profile(a)
+
+
+@dataclass(frozen=True, repr=False)
+class Scale(Op):
+    """Multiplication by a scalar constant (e.g. 1/sqrt(d_k) in attention)."""
+
+    kind = "elementwise"
+    factor: float = 1.0
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        return _elementwise_profile(inputs[0])
+
+
+@dataclass(frozen=True, repr=False)
+class Dropout(Op):
+    """Dropout; saves a byte mask alongside passing the output through."""
+
+    kind = "elementwise"
+    p: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p < 1.0:
+            raise ValueError(f"dropout probability must be in [0,1), got {self.p}")
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        mask = TensorSpec(x.shape, BOOL)
+        return _elementwise_profile(x, extra_saved=(mask,))
+
+
+# --------------------------------------------------------------------------
+# Normalisation / softmax
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Softmax(Op):
+    """Softmax over the last axis; saves its output for the backward."""
+
+    kind = "structure"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        return _elementwise_profile(inputs[0], flops_per_elem=5.0, save_output=True)
+
+
+@dataclass(frozen=True, repr=False)
+class LayerNorm(Op):
+    """LayerNorm over the trailing ``dim`` features."""
+
+    kind = "elementwise"
+    dim: int = 0
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if self.dim and x.shape and x.shape[-1] != self.dim:
+            raise ShapeError(
+                f"LayerNorm({self.dim}) got trailing dim {x.shape[-1]}"
+            )
+        return _elementwise_profile(
+            x, flops_per_elem=8.0, save_output=True, param_count=2 * self.dim
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class BatchNorm2d(Op):
+    """BatchNorm over (B, C, H, W); saves output plus per-channel stats."""
+
+    kind = "elementwise"
+    channels: int = 0
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if x.ndim != 4:
+            raise ShapeError(f"BatchNorm2d expects 4-D input, got {x.shape}")
+        if self.channels and x.shape[1] != self.channels:
+            raise ShapeError(
+                f"BatchNorm2d({self.channels}) got {x.shape[1]} channels"
+            )
+        return _elementwise_profile(
+            x, flops_per_elem=8.0, save_output=True, param_count=2 * x.shape[1]
+        )
+
+
+# --------------------------------------------------------------------------
+# Implicit-reduction operators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Linear(Op):
+    """Affine map over the trailing feature axis: (..., in) -> (..., out)."""
+
+    kind = "reduction"
+    in_features: int = 0
+    out_features: int = 0
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError("Linear features must be positive")
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if not x.shape or x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear({self.in_features}->{self.out_features}) got {x.shape}"
+            )
+        out = x.with_shape(x.shape[:-1] + (self.out_features,))
+        rows = out.numel // self.out_features
+        flops = 2.0 * rows * self.in_features * self.out_features
+        weight_bytes = self.in_features * self.out_features * x.dtype.itemsize
+        traffic = x.nbytes + out.nbytes + weight_bytes
+        params = self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+        return OpProfile(
+            output=out,
+            flops=flops,
+            bytes_moved=traffic,
+            bwd_flops=2.0 * flops,  # dX = dY W^T and dW = X^T dY
+            bwd_bytes=2.0 * traffic,
+            param_count=params,
+            saved=(),  # backward uses the (already saved) input
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class BatchMatMul(Op):
+    """Batched matrix product: (..., m, k) x (..., k, n) -> (..., m, n).
+
+    With ``transpose_b`` the second operand is (..., n, k) — the shape of
+    the ``Q @ K^T`` score computation whose quadratic output drives the
+    paper's quadratic memory law.
+    """
+
+    kind = "structure"
+    transpose_b: bool = False
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 2)
+        a, b = inputs
+        if a.ndim < 2 or b.ndim < 2:
+            raise ShapeError("BatchMatMul operands must be at least 2-D")
+        if a.shape[:-2] != b.shape[:-2]:
+            raise ShapeError(
+                f"batch dims differ: {a.shape[:-2]} vs {b.shape[:-2]}"
+            )
+        m, k = a.shape[-2], a.shape[-1]
+        if self.transpose_b:
+            n, kb = b.shape[-2], b.shape[-1]
+        else:
+            kb, n = b.shape[-2], b.shape[-1]
+        if k != kb:
+            raise ShapeError(f"contraction dims differ: {k} vs {kb}")
+        batch = math.prod(a.shape[:-2])
+        out = a.with_shape(a.shape[:-2] + (m, n))
+        flops = 2.0 * batch * m * n * k
+        traffic = a.nbytes + b.nbytes + out.nbytes
+        return OpProfile(
+            output=out,
+            flops=flops,
+            bytes_moved=traffic,
+            bwd_flops=2.0 * flops,
+            bwd_bytes=2.0 * traffic,
+            saved=(),  # operands saved by producers
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Conv2d(Op):
+    """2-D convolution on (B, C, H, W)."""
+
+    kind = "reduction"
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 0
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel_size, self.stride) <= 0:
+            raise ValueError("Conv2d hyper-parameters must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+
+    def out_hw(self, h: int, w: int) -> tuple[int, int]:
+        oh = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(
+                f"Conv2d output collapsed for input {h}x{w} "
+                f"(k={self.kernel_size}, s={self.stride}, p={self.padding})"
+            )
+        return oh, ow
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if x.ndim != 4:
+            raise ShapeError(f"Conv2d expects 4-D input, got {x.shape}")
+        b, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expects {self.in_channels} channels, got {c}"
+            )
+        oh, ow = self.out_hw(h, w)
+        out = x.with_shape((b, self.out_channels, oh, ow))
+        flops = (
+            2.0 * b * self.out_channels * oh * ow
+            * self.in_channels * self.kernel_size**2
+        )
+        weight = (
+            self.in_channels * self.out_channels * self.kernel_size**2
+        )
+        params = weight + (self.out_channels if self.bias else 0)
+        traffic = x.nbytes + out.nbytes + weight * x.dtype.itemsize
+        return OpProfile(
+            output=out,
+            flops=flops,
+            bytes_moved=traffic,
+            bwd_flops=2.0 * flops,
+            bwd_bytes=2.0 * traffic,
+            param_count=params,
+            saved=(),
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class MaxPool2d(Op):
+    """Max pooling; saves the argmax index map for the backward scatter."""
+
+    kind = "reduction"
+    kernel_size: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if x.ndim != 4:
+            raise ShapeError(f"MaxPool2d expects 4-D input, got {x.shape}")
+        b, c, h, w = x.shape
+        oh = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(f"MaxPool2d output collapsed for {h}x{w}")
+        out = x.with_shape((b, c, oh, ow))
+        indices = TensorSpec(out.shape, INT64)
+        n = out.numel * self.kernel_size**2
+        return OpProfile(
+            output=out,
+            flops=float(n),
+            bytes_moved=x.nbytes + out.nbytes,
+            bwd_flops=float(out.numel),
+            bwd_bytes=x.nbytes + out.nbytes,
+            saved=(indices,),
+        )
+
+
+# --------------------------------------------------------------------------
+# Fixed-output-size operators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class AdaptiveAvgPool2d(Op):
+    """Pools (B, C, H, W) to a fixed (B, C, oh, ow) regardless of H, W."""
+
+    kind = "fixed"
+    output_size: tuple[int, int] = (1, 1)
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        if x.ndim != 4:
+            raise ShapeError(f"AdaptiveAvgPool2d expects 4-D input, got {x.shape}")
+        b, c, _, _ = x.shape
+        oh, ow = self.output_size
+        out = x.with_shape((b, c, oh, ow))
+        return OpProfile(
+            output=out,
+            flops=float(x.numel),
+            bytes_moved=x.nbytes + out.nbytes,
+            bwd_flops=float(x.numel),
+            bwd_bytes=x.nbytes + out.nbytes,
+            saved=(),
+        )
+
+
+# --------------------------------------------------------------------------
+# Lookup / shaping / loss
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Embedding(Op):
+    """Token-id lookup: int (..., L) -> float (..., L, dim)."""
+
+    kind = "fixed"
+    num_embeddings: int = 0
+    embedding_dim: int = 0
+    out_dtype: DType = FLOAT32
+
+    def __post_init__(self) -> None:
+        if self.num_embeddings <= 0 or self.embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        ids = inputs[0]
+        if ids.dtype.is_floating:
+            raise ShapeError("Embedding expects an integer id tensor")
+        out = TensorSpec(ids.shape + (self.embedding_dim,), self.out_dtype)
+        return OpProfile(
+            output=out,
+            flops=0.0,
+            bytes_moved=ids.nbytes + out.nbytes,
+            bwd_flops=float(out.numel),
+            bwd_bytes=out.nbytes,
+            param_count=self.num_embeddings * self.embedding_dim,
+            saved=(),
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Reshape(Op):
+    """View with a new shape (one dim may be -1); costs nothing."""
+
+    kind = "view"
+    shape: tuple[int, ...] = ()
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        shape = list(self.shape)
+        wildcard = [i for i, d in enumerate(shape) if d == -1]
+        if len(wildcard) > 1:
+            raise ShapeError("at most one -1 allowed in Reshape")
+        if wildcard:
+            known = math.prod(d for d in shape if d != -1)
+            if known == 0 or x.numel % known != 0:
+                raise ShapeError(f"cannot reshape {x.shape} to {self.shape}")
+            shape[wildcard[0]] = x.numel // known
+        if math.prod(shape) != x.numel:
+            raise ShapeError(
+                f"reshape element mismatch: {x.shape} -> {tuple(shape)}"
+            )
+        out = x.with_shape(tuple(shape))
+        return OpProfile(out, 0.0, 0.0, 0.0, 0.0, saved=())
+
+
+@dataclass(frozen=True, repr=False)
+class Transpose(Op):
+    """Swap two axes (a view; costs nothing in this model)."""
+
+    kind = "view"
+    dim0: int = -2
+    dim1: int = -1
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        x = inputs[0]
+        shape = list(x.shape)
+        try:
+            shape[self.dim0], shape[self.dim1] = shape[self.dim1], shape[self.dim0]
+        except IndexError:
+            raise ShapeError(
+                f"Transpose dims ({self.dim0},{self.dim1}) out of range for {x.shape}"
+            ) from None
+        return OpProfile(x.with_shape(tuple(shape)), 0.0, 0.0, 0.0, 0.0, saved=())
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Op):
+    """Concatenate along an axis; backward is slicing, so nothing saved."""
+
+    kind = "view"
+    axis: int = -1
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        if not inputs:
+            raise ShapeError("Concat needs at least one input")
+        first = inputs[0]
+        axis = self.axis % first.ndim if first.ndim else 0
+        total = 0
+        for x in inputs:
+            if x.ndim != first.ndim:
+                raise ShapeError("Concat rank mismatch")
+            for i, (da, db) in enumerate(zip(x.shape, first.shape)):
+                if i != axis and da != db:
+                    raise ShapeError(
+                        f"Concat non-axis dims differ: {x.shape} vs {first.shape}"
+                    )
+            total += x.shape[axis]
+        shape = list(first.shape)
+        shape[axis] = total
+        out = first.with_shape(tuple(shape))
+        nbytes = float(sum(x.nbytes for x in inputs) + out.nbytes)
+        return OpProfile(out, 0.0, nbytes, 0.0, nbytes, saved=())
+
+
+@dataclass(frozen=True, repr=False)
+class CrossEntropyLoss(Op):
+    """Softmax + NLL over (rows, classes) -> scalar; saves the probabilities."""
+
+    kind = "structure"
+
+    def profile(self, *inputs: TensorSpec) -> OpProfile:
+        self._expect_arity(inputs, 1)
+        logits = inputs[0]
+        if logits.ndim < 2:
+            raise ShapeError(f"CrossEntropyLoss expects >=2-D logits, got {logits.shape}")
+        out = logits.with_shape(())
+        probs = TensorSpec(logits.shape, logits.dtype)
+        n = logits.numel
+        return OpProfile(
+            output=out,
+            flops=6.0 * n,
+            bytes_moved=2.0 * logits.nbytes,
+            bwd_flops=2.0 * n,
+            bwd_bytes=2.0 * logits.nbytes,
+            saved=(probs,),
+        )

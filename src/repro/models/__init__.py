@@ -1,0 +1,32 @@
+"""Model zoo: the architectures used in the paper's evaluation (Table II).
+
+Every model is a :class:`~repro.models.base.SegmentedModel` — an ordered
+chain of checkpointable units (encoder blocks, residual blocks) exactly at
+the granularity ``torch.utils.checkpoint`` gives the original Mimose
+implementation.
+"""
+
+from repro.models.base import BatchInput, SegmentedModel, StaticMemory
+from repro.models.bert import BertConfig, build_bert_base, build_roberta_base
+from repro.models.t5 import T5Config, build_t5_base
+from repro.models.resnet import ResNetConfig, build_resnet50_det, build_resnet101_det
+from repro.models.swin import SwinConfig, build_swin_tiny
+from repro.models.registry import available_models, build_model
+
+__all__ = [
+    "BatchInput",
+    "SegmentedModel",
+    "StaticMemory",
+    "BertConfig",
+    "build_bert_base",
+    "build_roberta_base",
+    "T5Config",
+    "build_t5_base",
+    "ResNetConfig",
+    "build_resnet50_det",
+    "build_resnet101_det",
+    "SwinConfig",
+    "build_swin_tiny",
+    "available_models",
+    "build_model",
+]

@@ -1,0 +1,44 @@
+"""Name-based model construction."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import SegmentedModel
+from repro.models.bert import build_bert_base, build_roberta_base
+from repro.models.gpt2 import build_gpt2_small
+from repro.models.resnet import build_resnet50_det, build_resnet101_det
+from repro.models.swin import build_swin_tiny
+from repro.models.t5 import build_t5_base
+
+_BUILDERS: dict[str, Callable[[], SegmentedModel]] = {
+    "bert-base": build_bert_base,
+    "roberta-base": build_roberta_base,
+    "t5-base": build_t5_base,
+    "resnet50-det": build_resnet50_det,
+    "resnet101-det": build_resnet101_det,
+    "swin-tiny": build_swin_tiny,
+    "gpt2-small": build_gpt2_small,
+    "bert-base-amp": lambda: build_bert_base(amp=True),
+    "roberta-base-amp": lambda: build_roberta_base(amp=True),
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str) -> SegmentedModel:
+    """Construct a fresh model instance by name.
+
+    Raises:
+        KeyError: for unknown names (listing the known ones).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return builder()

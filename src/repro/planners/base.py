@@ -1,0 +1,228 @@
+"""Planner protocol shared by Mimose and all baselines.
+
+The executor drives a planner through three hooks:
+
+* :meth:`Planner.setup` — once per run, with a :class:`ModelView`.  Static
+  planners may pre-analyse the model here (their papers allow it); Mimose,
+  by design, only reads unit names and learns the rest online.
+* :meth:`Planner.plan` — once per iteration, before the forward pass, with
+  the incoming batch.  Returns a :class:`PlanDecision`.
+* :meth:`Planner.observe` — once per iteration, after execution, with the
+  measured :class:`~repro.engine.stats.IterationStats`.
+
+Reactive planners (DTR) additionally implement :meth:`Planner.on_oom`,
+invoked from inside the allocator when an allocation fails.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from repro.models.base import BatchInput, SegmentedModel, StaticMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.stats import IterationStats
+    from repro.graph.module import ModuleProfile
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointPlan:
+    """Per-unit memory actions for one iteration.
+
+    ``checkpoint_units`` are dropped after forward and recomputed during
+    backward; ``swap_units`` are offloaded to host memory over PCIe after
+    forward and prefetched back before their backward (the hybrid
+    planners of Table I); ``segments`` are *groups* of consecutive units
+    checkpointed together in the original Chen et al. sense — interior
+    boundaries between a segment's units are dropped too (only the
+    segment's input and output survive the forward), and the backward
+    recomputes the whole segment front-to-back before unwinding it.
+    Segment checkpointing reaches a lower memory floor than per-unit
+    checkpointing at the same recompute cost, at the price of a larger
+    working set during the segment's backward window.
+
+    A unit may appear in at most one of the three structures.
+    """
+
+    checkpoint_units: frozenset[str] = frozenset()
+    label: str = ""
+    swap_units: frozenset[str] = frozenset()
+    segments: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = self.checkpoint_units & self.swap_units
+        if overlap:
+            raise ValueError(
+                f"units cannot be both dropped and swapped: {sorted(overlap)}"
+            )
+        seen: set[str] = set()
+        for segment in self.segments:
+            if not segment:
+                raise ValueError("segments must be non-empty")
+            for name in segment:
+                if name in seen or name in self.checkpoint_units or name in self.swap_units:
+                    raise ValueError(
+                        f"unit {name!r} has conflicting plan assignments"
+                    )
+                seen.add(name)
+
+    @property
+    def segment_units(self) -> frozenset[str]:
+        return frozenset(n for seg in self.segments for n in seg)
+
+    @classmethod
+    def none(cls) -> "CheckpointPlan":
+        return cls(frozenset(), "none")
+
+    @classmethod
+    def of(cls, names: Sequence[str], label: str = "") -> "CheckpointPlan":
+        return cls(frozenset(names), label)
+
+    def __contains__(self, unit_name: str) -> bool:
+        return unit_name in self.checkpoint_units
+
+    def __len__(self) -> int:
+        return len(self.checkpoint_units)
+
+
+class ExecutionMode(enum.Enum):
+    """How the executor should run the iteration."""
+
+    NORMAL = "normal"
+    #: Mimose sheltered execution: shuttling double-forward on every
+    #: checkpointable unit, per-unit measurements returned in the stats.
+    COLLECT = "collect"
+    #: DTR-style: start with everything resident, evict via on_oom.
+    REACTIVE = "reactive"
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDecision:
+    """A planner's answer for one iteration.
+
+    ``planning_time`` is the time the planner itself spent (or would spend
+    on the real system) producing this decision; the executor charges it to
+    the iteration, which is how planner overhead shows up in Fig 5 and
+    Table III.
+    """
+
+    plan: CheckpointPlan
+    mode: ExecutionMode = ExecutionMode.NORMAL
+    planning_time: float = 0.0
+
+
+class ModelView:
+    """What a planner may know about the model.
+
+    ``unit_names``/``checkpointable`` describe the structure (visible to
+    everyone — it is in the user's training script).  ``profiles`` is the
+    offline analysis oracle: static planners call it with their assumed
+    worst-case batch; Mimose never calls it.
+    """
+
+    def __init__(self, model: SegmentedModel) -> None:
+        self._model = model
+        self.unit_names: tuple[str, ...] = tuple(model.unit_names())
+        self.checkpointable: frozenset[str] = frozenset(
+            u.name for u in model.checkpointable_units()
+        )
+        self.static_memory: StaticMemory = model.static_memory()
+
+    def profiles(self, batch: BatchInput) -> list["ModuleProfile"]:
+        """Offline model analysis (static planners only)."""
+        return self._model.profiles(batch)
+
+    def unit_index(self, name: str) -> int:
+        return self.unit_names.index(name)
+
+
+@dataclass(frozen=True, slots=True)
+class PlannerCapabilities:
+    """Table I feature matrix row for a planner."""
+
+    swapping: bool = False
+    checkpointing: bool = True
+    dynamic_input: bool = False
+    dynamic_graph: bool = False
+    fragmentation_avoidance: str = "none"
+    granularity: str = "layer"
+    plan_timing: str = "offline"
+    search_space: str = "holistic"
+    search_algorithm: str = "greedy"
+
+
+class Planner:
+    """Base class; subclasses override the hooks they need."""
+
+    name: str = "planner"
+    capabilities: PlannerCapabilities = PlannerCapabilities()
+    #: Per-tracked-tensor bookkeeping time charged on every unit execution
+    #: (non-zero only for DTR, which maintains per-tensor cost metadata).
+    upkeep_time_per_tensor: float = 0.0
+    #: Whether the executor should be given physical device capacity rather
+    #: than the budget as a hard cap.  True for planners that only enforce
+    #: the budget logically (baseline, DTR) or that can overshoot it on
+    #: inputs larger than their static assumption (Checkmate, MONeT).
+    requires_physical_capacity: bool = False
+    #: Allocator coalescing; False models CUDA-caching-allocator
+    #: fragmentation under eviction churn (DTR).
+    allocator_coalescing: bool = True
+    #: One-off offline solve time in seconds (reported, never charged to
+    #: iterations) — hours for the MILP planners, ~0 otherwise.
+    solve_time_s: float = 0.0
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self.view: Optional[ModelView] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def setup(self, view: ModelView) -> None:
+        """Called once before training starts."""
+        self.view = view
+
+    def plan(self, batch: BatchInput) -> PlanDecision:
+        raise NotImplementedError
+
+    def observe(self, stats: "IterationStats") -> None:  # noqa: B027
+        """Called after each iteration with the measured stats."""
+
+    # -------------------------------------------------------------- reactive
+
+    def on_oom(
+        self,
+        requested_bytes: int,
+        evictable: Mapping[str, "EvictableGroup"],
+        now: float,
+    ) -> tuple[Optional[str], float]:
+        """Pick a victim unit to evict (reactive planners only).
+
+        Returns ``(unit_name, search_time_seconds)``; ``(None, t)`` means
+        give up (the iteration will fail with OOM).
+        """
+        raise NotImplementedError(f"{self.name} is not a reactive planner")
+
+    def _require_view(self) -> ModelView:
+        if self.view is None:
+            raise RuntimeError(f"{self.name}.setup() was never called")
+        return self.view
+
+
+@dataclass(slots=True)
+class EvictableGroup:
+    """A materialised unit's activations, as seen by a reactive planner."""
+
+    unit_name: str
+    nbytes: int
+    compute_time: float  # cost to rematerialise (the unit's forward time)
+    last_access: float  # simulated timestamp of last use
+    num_tensors: int = 1
+
+    def h_value(self, now: float) -> float:
+        """DTR's eviction heuristic: cost / (size * staleness) — small is good."""
+        staleness = max(now - self.last_access, 1e-9)
+        return self.compute_time / (max(self.nbytes, 1) * staleness)

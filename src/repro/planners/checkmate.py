@@ -1,0 +1,170 @@
+"""Checkmate (Jain et al. 2020): optimal static rematerialisation.
+
+The original formulates tensor rematerialisation as a MILP over a static
+graph and solves it offline (up to an hour per budget; §VI-A allocates
+8–12 h for the related MONeT solves).  At this reproduction's unit
+granularity the same optimisation — minimise total recompute time subject
+to the peak-memory budget — is an exact 0/1 knapsack, which we solve by
+dynamic programming and then verify/tighten against the exact analytic
+peak model.
+
+Being built on static graphs, Checkmate cannot re-plan per input shape
+(the paper cites its issue #126 declining dynamic-shape support).  It
+plans for one *assumed* input batch; iterations with larger inputs
+overshoot the budget, which is why Fig 10 annotates its actual peak
+memory on the OD tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.models.base import BatchInput
+from repro.planners.analysis import predict_peak_bytes, unit_saved_bytes
+from repro.planners.base import (
+    CheckpointPlan,
+    ModelView,
+    PlanDecision,
+    Planner,
+    PlannerCapabilities,
+)
+
+_SCALE = 1 << 20  # knapsack weight quantum: 1 MiB
+
+
+def solve_keep_knapsack(
+    values: Sequence[float],
+    weights: Sequence[int],
+    capacity: int,
+) -> list[int]:
+    """Pick item indices maximising total value with total weight <= capacity.
+
+    Values are the forward (recompute) times avoided by keeping a unit;
+    weights are its saved activation bytes.  Weights are quantised to 1 MiB
+    so the DP table stays small; quantisation rounds weights *up*, keeping
+    the solution feasible.
+    """
+    n = len(values)
+    if n == 0 or capacity <= 0:
+        return []
+    w = [max(1, math.ceil(weight / _SCALE)) for weight in weights]
+    cap = capacity // _SCALE
+    if cap <= 0:
+        return []
+    # rows[i][c] = best value using the first i items at weight budget c
+    rows: list[list[float]] = [[0.0] * (cap + 1)]
+    for i in range(n):
+        wi, vi = w[i], values[i]
+        prev = rows[-1]
+        cur = prev[:]
+        if wi <= cap:
+            for c in range(wi, cap + 1):
+                cand = prev[c - wi] + vi
+                if cand > cur[c]:
+                    cur[c] = cand
+        rows.append(cur)
+    chosen: list[int] = []
+    c = cap
+    for i in range(n, 0, -1):
+        if rows[i][c] != rows[i - 1][c]:
+            chosen.append(i - 1)
+            c -= w[i - 1]
+    chosen.reverse()
+    return chosen
+
+
+class CheckmatePlanner(Planner):
+    """Optimal static planner for an assumed input shape.
+
+    Args:
+        budget_bytes: GPU memory budget.
+        assumed_batch: the input shape the static graph was traced with.
+            The paper's evaluation uses a representative (large-ish) shape;
+            pass the calibration p95 for that behaviour.
+        solve_time_s: modelled offline solve time (reported, not charged).
+    """
+
+    name = "checkmate"
+    capabilities = PlannerCapabilities(
+        granularity="layer",
+        plan_timing="offline",
+        search_space="reduced",
+        search_algorithm="MILP+approx.",
+    )
+    requires_physical_capacity = True  # overshoots on larger-than-assumed inputs
+    #: headroom below the budget for allocator segment-pooling slack
+    FRAG_RESERVE = 256 * 1024**2
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        assumed_batch: BatchInput,
+        *,
+        solve_time_s: float = 3600.0,
+        enforce_budget: bool = False,
+    ) -> None:
+        super().__init__(budget_bytes)
+        self.assumed_batch = assumed_batch
+        self.solve_time_s = solve_time_s
+        # When the assumed shape is the true worst case (NLP, where the
+        # truncation cap bounds every input) the plan genuinely respects
+        # the budget, so the executor may enforce it as a hard cap.  With
+        # a calibration shape (OD) larger inputs overshoot, and only
+        # physical capacity makes that observable (Fig 10 annotations).
+        self.requires_physical_capacity = not enforce_budget
+        self._plan: Optional[CheckpointPlan] = None
+
+    # ------------------------------------------------------------------ solve
+
+    def setup(self, view: ModelView) -> None:
+        super().setup(view)
+        self._plan = self._solve(view)
+
+    def _solve(self, view: ModelView) -> CheckpointPlan:
+        batch = self.assumed_batch
+        profiles = view.profiles(batch)
+        static = view.static_memory.total
+        names = [n for n in view.unit_names if n in view.checkpointable]
+        by_name = {p.module_name: p for p in profiles}
+        saved = {n: unit_saved_bytes(by_name[n]) for n in names}
+        fwd_cost = {n: by_name[n].fwd_flops for n in names}
+
+        all_plan = CheckpointPlan.of(names, "all")
+        floor_peak = predict_peak_bytes(
+            profiles,
+            all_plan,
+            static_bytes=static,
+            input_nbytes=batch.nbytes,
+            checkpointable=view.checkpointable,
+        )
+        usable = self.budget_bytes - self.FRAG_RESERVE
+        capacity = usable - floor_peak
+        # Tighten until the exact peak model accepts the plan (quantisation
+        # and liveness-window effects can make the linear model optimistic).
+        for _ in range(16):
+            if capacity <= 0:
+                return all_plan
+            kept_idx = solve_keep_knapsack(
+                [fwd_cost[n] for n in names],
+                [saved[n] for n in names],
+                capacity,
+            )
+            kept = {names[i] for i in kept_idx}
+            plan = CheckpointPlan(frozenset(names) - frozenset(kept), "checkmate")
+            peak = predict_peak_bytes(
+                profiles,
+                plan,
+                static_bytes=static,
+                input_nbytes=batch.nbytes,
+                checkpointable=view.checkpointable,
+            )
+            if peak <= usable:
+                return plan
+            capacity -= peak - usable
+        return all_plan
+
+    def plan(self, batch: BatchInput) -> PlanDecision:
+        if self._plan is None:
+            raise RuntimeError("setup() must run before plan()")
+        return PlanDecision(self._plan, planning_time=1e-6)

@@ -1,0 +1,43 @@
+"""Simulated GPU substrate: tensors, memory allocator, device timing model.
+
+This package replaces the CUDA runtime the paper's artifact depends on.  It
+provides the three pieces every planner in :mod:`repro.planners` and
+:mod:`repro.core` is measured against:
+
+* :class:`~repro.tensorsim.tensor.SimTensor` — a shape/dtype descriptor bound
+  to storage in the simulated device memory,
+* :class:`~repro.tensorsim.allocator.CachingAllocator` — a best-fit caching
+  block allocator over a simulated address space, exhibiting the same
+  fragmentation pathologies as the CUDA caching allocator,
+* :class:`~repro.tensorsim.device.DeviceModel` — a roofline timing model
+  (peak FLOP/s, memory bandwidth, kernel-launch overhead) with a V100 preset.
+"""
+
+from repro.tensorsim.clock import SimClock
+from repro.tensorsim.dtypes import DType, FLOAT16, FLOAT32, INT32, INT64
+from repro.tensorsim.tensor import SimTensor, TensorSpec
+from repro.tensorsim.allocator import (
+    AllocationError,
+    Block,
+    CachingAllocator,
+    OutOfMemoryError,
+)
+from repro.tensorsim.device import DeviceModel, DevicePreset, V100
+
+__all__ = [
+    "SimClock",
+    "DType",
+    "FLOAT16",
+    "FLOAT32",
+    "INT32",
+    "INT64",
+    "SimTensor",
+    "TensorSpec",
+    "AllocationError",
+    "Block",
+    "CachingAllocator",
+    "OutOfMemoryError",
+    "DeviceModel",
+    "DevicePreset",
+    "V100",
+]

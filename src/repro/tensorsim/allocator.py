@@ -1,0 +1,404 @@
+"""Segment-based caching allocator over a simulated device address space.
+
+This models the CUDA caching allocator's actual structure:
+
+* memory is reserved from the device in **segments** (``cudaMalloc``
+  chunks): small requests share pooled 2 MiB segments, medium ones 20 MiB
+  segments, large ones get dedicated segments rounded to 2 MiB;
+* within a segment, allocations are served best-fit from free blocks,
+  splitting over-large blocks; freed blocks coalesce with free neighbours
+  **within the same segment only** — segments never merge, which is the
+  mechanistic root of external fragmentation: churny workloads (DTR's
+  evict/rematerialise cycles with ever-changing tensor sizes) strand free
+  space across many partly-used segments that cannot serve a large
+  request, so reserved memory grows well past bytes-in-use (§III-B /
+  Fig 5's "budget 4.2 GB, actually 6.7 GB used");
+* reserved segments are cached forever (no ``empty_cache`` in the
+  training loop), so ``bytes_reserved`` is the footprint an ``nvidia-smi``
+  would show;
+* when no cached block fits and the remaining capacity cannot hold a new
+  segment, allocation raises :class:`OutOfMemoryError` — the signal DTR's
+  eviction loop reacts to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+DEFAULT_ALIGNMENT = 512  # bytes, the CUDA caching allocator quantum
+MIN_SPLIT_REMAINDER = 512
+SMALL_REQUEST = 1 << 20  # <1 MiB requests pool into small segments
+SMALL_SEGMENT = 2 << 20  # 2 MiB
+MEDIUM_REQUEST = 10 << 20  # <10 MiB requests pool into medium segments
+MEDIUM_SEGMENT = 20 << 20  # 20 MiB
+LARGE_ROUND = 2 << 20  # dedicated segments round up to 2 MiB
+
+
+class AllocationError(RuntimeError):
+    """Base class for allocator failures."""
+
+
+class OutOfMemoryError(AllocationError):
+    """Raised when an allocation cannot be satisfied within capacity.
+
+    Carries enough context for a dynamic planner (DTR) to decide how much
+    to evict: the requested size and the free bytes at failure time (which
+    may be plentiful if the failure is purely fragmentation).
+    """
+
+    def __init__(self, requested: int, free_bytes: int, largest_free: int) -> None:
+        self.requested = requested
+        self.free_bytes = free_bytes
+        self.largest_free = largest_free
+        super().__init__(
+            f"out of memory: requested {requested} B, "
+            f"{free_bytes} B free (largest contiguous {largest_free} B)"
+        )
+
+
+@dataclass(slots=True)
+class Segment:
+    """One reserved chunk of device memory."""
+
+    base: int
+    size: int
+    head: Optional["Block"] = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass(slots=True)
+class Block:
+    """A contiguous region within a segment."""
+
+    addr: int
+    size: int
+    segment: Segment
+    free: bool = True
+    owner: str = ""
+    prev: Optional["Block"] = field(default=None, repr=False)
+    next: Optional["Block"] = field(default=None, repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+def _align_up(n: int, quantum: int) -> int:
+    return (n + quantum - 1) // quantum * quantum
+
+
+@dataclass(slots=True)
+class AllocatorStats:
+    """Counters maintained by :class:`CachingAllocator`."""
+
+    bytes_in_use: int = 0
+    bytes_reserved: int = 0
+    peak_in_use: int = 0
+    peak_reserved: int = 0
+    num_allocs: int = 0
+    num_frees: int = 0
+    num_oom: int = 0
+    num_splits: int = 0
+    num_coalesces: int = 0
+    num_segments: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "bytes_in_use": self.bytes_in_use,
+            "bytes_reserved": self.bytes_reserved,
+            "peak_in_use": self.peak_in_use,
+            "peak_reserved": self.peak_reserved,
+            "num_allocs": self.num_allocs,
+            "num_frees": self.num_frees,
+            "num_oom": self.num_oom,
+            "num_splits": self.num_splits,
+            "num_coalesces": self.num_coalesces,
+            "num_segments": self.num_segments,
+        }
+
+
+class CachingAllocator:
+    """Segmented best-fit caching allocator.
+
+    Args:
+        capacity: total device memory (bytes) this allocator may reserve.
+        alignment: allocation quantum; requests are rounded up to it.
+        coalescing: merge adjacent free blocks within a segment on free.
+            True matches the CUDA caching allocator; False is a stress
+            knob for fragmentation experiments.
+        oom_callback: invoked with the failing request size just before an
+            :class:`OutOfMemoryError` would be raised; if it returns True
+            the allocation is retried once (the hook a reactive planner's
+            eviction loop can use).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        alignment: int = DEFAULT_ALIGNMENT,
+        coalescing: bool = True,
+        oom_callback: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = int(capacity)
+        self.alignment = alignment
+        self.coalescing = coalescing
+        self.oom_callback = oom_callback
+        self.stats = AllocatorStats()
+        self._segments: list[Segment] = []
+        self._free_blocks: dict[int, Block] = {}  # addr -> free block
+        self._brk = 0  # next segment base address
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes currently backing live tensors."""
+        return self.stats.bytes_in_use
+
+    @property
+    def bytes_reserved(self) -> int:
+        """Bytes reserved from the device (what nvidia-smi would report)."""
+        return self.stats.bytes_reserved
+
+    @property
+    def bytes_free_cached(self) -> int:
+        """Free bytes sitting inside reserved segments."""
+        return self.stats.bytes_reserved - self.stats.bytes_in_use
+
+    @property
+    def bytes_available(self) -> int:
+        """Bytes an ideal (non-fragmenting) allocator could still serve."""
+        return self.capacity - self.stats.bytes_in_use
+
+    def largest_free_block(self) -> int:
+        """Largest single allocation currently satisfiable."""
+        largest = max((b.size for b in self._free_blocks.values()), default=0)
+        return max(largest, self.capacity - self.stats.bytes_reserved)
+
+    def fragmentation_bytes(self) -> int:
+        """External fragmentation: cached free bytes outside the largest block.
+
+        The memory that exists but cannot serve one large request — the
+        quantity behind DTR's budget-vs-actual gap in Fig 5.
+        """
+        free_cached = self.bytes_free_cached
+        largest = max((b.size for b in self._free_blocks.values()), default=0)
+        return max(0, free_cached - largest)
+
+    def free_block_sizes(self) -> list[int]:
+        """Sizes of all cached free blocks (for fragmentation histograms)."""
+        return sorted(b.size for b in self._free_blocks.values())
+
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    # ----------------------------------------------------------------- alloc
+
+    def _segment_size_for(self, size: int) -> int:
+        if size <= SMALL_REQUEST:
+            return SMALL_SEGMENT
+        if size <= MEDIUM_REQUEST:
+            return MEDIUM_SEGMENT
+        return _align_up(size, LARGE_ROUND)
+
+    def malloc(self, nbytes: int, *, owner: str = "") -> Block:
+        """Allocate ``nbytes`` (rounded up to alignment).
+
+        Raises:
+            OutOfMemoryError: when the request cannot be satisfied even
+                after the ``oom_callback`` (if any) was given a chance to
+                release memory.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative number of bytes")
+        size = _align_up(max(nbytes, 1), self.alignment)
+
+        block = self._try_alloc(size, owner)
+        if block is None and self.oom_callback is not None:
+            if self.oom_callback(size):
+                block = self._try_alloc(size, owner)
+        if block is None:
+            self.stats.num_oom += 1
+            raise OutOfMemoryError(
+                size, self.bytes_free_cached, self.largest_free_block()
+            )
+        return block
+
+    def try_malloc(self, nbytes: int, *, owner: str = "") -> Optional[Block]:
+        """Like :meth:`malloc` but returns None instead of raising."""
+        try:
+            return self.malloc(nbytes, owner=owner)
+        except OutOfMemoryError:
+            return None
+
+    def _try_alloc(self, size: int, owner: str) -> Optional[Block]:
+        best: Optional[Block] = None
+        for candidate in self._free_blocks.values():
+            if candidate.size >= size and (best is None or candidate.size < best.size):
+                best = candidate
+                if best.size == size:
+                    break
+        if best is not None:
+            return self._carve(best, size, owner)
+        # Nothing cached fits: reserve a new segment if capacity allows.
+        seg_size = self._segment_size_for(size)
+        if self.stats.bytes_reserved + seg_size > self.capacity:
+            # Like the CUDA caching allocator on a failed cudaMalloc:
+            # release completely-free cached segments and retry.
+            self._release_empty_segments()
+        if self.stats.bytes_reserved + seg_size > self.capacity:
+            # a tight-fit segment may still fit where the pooled size won't
+            seg_size = _align_up(size, self.alignment)
+            if self.stats.bytes_reserved + seg_size > self.capacity:
+                return None
+        segment = Segment(base=self._brk, size=seg_size)
+        self._brk += seg_size
+        whole = Block(addr=segment.base, size=seg_size, segment=segment, free=True)
+        segment.head = whole
+        self._segments.append(segment)
+        self._free_blocks[whole.addr] = whole
+        self.stats.bytes_reserved += seg_size
+        self.stats.peak_reserved = max(
+            self.stats.peak_reserved, self.stats.bytes_reserved
+        )
+        self.stats.num_segments += 1
+        return self._carve(whole, size, owner)
+
+    def _carve(self, block: Block, size: int, owner: str) -> Block:
+        """Serve ``size`` bytes from a free ``block``, splitting if worthwhile."""
+        del self._free_blocks[block.addr]
+        remainder = block.size - size
+        if remainder >= MIN_SPLIT_REMAINDER:
+            tail = Block(
+                addr=block.addr + size,
+                size=remainder,
+                segment=block.segment,
+                free=True,
+            )
+            block.size = size
+            tail.prev = block
+            tail.next = block.next
+            if block.next is not None:
+                block.next.prev = tail
+            block.next = tail
+            self._free_blocks[tail.addr] = tail
+            self.stats.num_splits += 1
+        block.free = False
+        block.owner = owner
+        self.stats.bytes_in_use += block.size
+        self.stats.peak_in_use = max(
+            self.stats.peak_in_use, self.stats.bytes_in_use
+        )
+        self.stats.num_allocs += 1
+        return block
+
+    def _release_empty_segments(self) -> None:
+        """Return fully-free segments to the device (cudaFree on OOM path)."""
+        kept: list[Segment] = []
+        for seg in self._segments:
+            head = seg.head
+            if head is not None and head.free and head.next is None:
+                del self._free_blocks[head.addr]
+                self.stats.bytes_reserved -= seg.size
+                self.stats.num_segments -= 1
+            else:
+                kept.append(seg)
+        self._segments = kept
+
+    def release_cached(self) -> int:
+        """Public ``empty_cache()``: drop all fully-free segments.
+
+        Returns the number of bytes returned to the device.
+        """
+        before = self.stats.bytes_reserved
+        self._release_empty_segments()
+        return before - self.stats.bytes_reserved
+
+    # ------------------------------------------------------------------ free
+
+    def free(self, block: Block) -> None:
+        """Return a block to the cache (coalescing within its segment)."""
+        if block.free:
+            raise AllocationError(f"double free of block at {block.addr}")
+        block.free = True
+        block.owner = ""
+        self.stats.bytes_in_use -= block.size
+        self.stats.num_frees += 1
+        self._free_blocks[block.addr] = block
+        if self.coalescing:
+            self._coalesce(block)
+
+    def _coalesce(self, block: Block) -> None:
+        while block.next is not None and block.next.free:
+            nxt = block.next
+            del self._free_blocks[nxt.addr]
+            block.size += nxt.size
+            block.next = nxt.next
+            if nxt.next is not None:
+                nxt.next.prev = block
+            self.stats.num_coalesces += 1
+        while block.prev is not None and block.prev.free:
+            prv = block.prev
+            del self._free_blocks[block.addr]
+            prv.size += block.size
+            prv.next = block.next
+            if block.next is not None:
+                block.next.prev = prv
+            self.stats.num_coalesces += 1
+            block = prv
+        self._free_blocks[block.addr] = block
+
+    # ------------------------------------------------------------- lifecycle
+
+    def reset_peaks(self) -> None:
+        """Reset peak statistics (between iterations/experiments)."""
+        self.stats.peak_in_use = self.stats.bytes_in_use
+        self.stats.peak_reserved = self.stats.bytes_reserved
+
+    def check_consistency(self) -> None:
+        """Verify internal invariants; used heavily by the property tests.
+
+        Raises:
+            AssertionError: if any invariant is violated.
+        """
+        in_use = 0
+        reserved = 0
+        free_seen = 0
+        for seg in self._segments:
+            reserved += seg.size
+            node = seg.head
+            assert node is not None, "segment without blocks"
+            assert node.prev is None, "segment head has a predecessor"
+            prev_end = seg.base
+            while node is not None:
+                assert node.addr == prev_end, "blocks must tile the segment"
+                assert node.size > 0, "blocks must be non-empty"
+                assert node.segment is seg, "block belongs to wrong segment"
+                if node.free:
+                    assert node.addr in self._free_blocks
+                    free_seen += 1
+                else:
+                    assert node.addr not in self._free_blocks
+                    in_use += node.size
+                prev_end = node.end
+                node = node.next
+            assert prev_end == seg.end, "blocks must cover the whole segment"
+        assert in_use == self.stats.bytes_in_use, "in-use accounting must match"
+        assert reserved == self.stats.bytes_reserved, "reserve accounting must match"
+        assert free_seen == len(self._free_blocks), "free index must be exact"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CachingAllocator(in_use={self.bytes_in_use}, "
+            f"reserved={self.bytes_reserved}, capacity={self.capacity}, "
+            f"segments={len(self._segments)})"
+        )

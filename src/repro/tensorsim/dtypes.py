@@ -1,0 +1,68 @@
+"""Numeric dtype registry for the simulated tensor substrate.
+
+Only the metadata that affects memory and bandwidth accounting is modelled:
+the element size in bytes and whether the type participates in gradient
+computation (integer tensors such as token ids do not carry gradients and
+therefore produce no gradient allocations in the backward pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DType:
+    """A simulated element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"float32"``.
+        itemsize: bytes per element.
+        is_floating: whether tensors of this type are differentiable.
+    """
+
+    name: str
+    itemsize: int
+    is_floating: bool = True
+
+    def __post_init__(self) -> None:
+        if self.itemsize <= 0:
+            raise ValueError(f"itemsize must be positive, got {self.itemsize}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FLOAT16 = DType("float16", 2)
+FLOAT32 = DType("float32", 4)
+FLOAT64 = DType("float64", 8)
+INT32 = DType("int32", 4, is_floating=False)
+INT64 = DType("int64", 8, is_floating=False)
+BOOL = DType("bool", 1, is_floating=False)
+
+_REGISTRY: dict[str, DType] = {
+    d.name: d for d in (FLOAT16, FLOAT32, FLOAT64, INT32, INT64, BOOL)
+}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a registered dtype by its canonical name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_dtype(dtype: DType) -> DType:
+    """Register a custom dtype; returns it for chaining.
+
+    Raises:
+        ValueError: if a different dtype is already registered under the name.
+    """
+    existing = _REGISTRY.get(dtype.name)
+    if existing is not None and existing != dtype:
+        raise ValueError(f"dtype {dtype.name!r} already registered as {existing}")
+    _REGISTRY[dtype.name] = dtype
+    return dtype

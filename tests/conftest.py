@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.base import SegmentedModel
+from repro.models.registry import build_model
+
+from tests.helpers import make_tiny_model
+
+
+@pytest.fixture
+def tiny_model() -> SegmentedModel:
+    return make_tiny_model()
+
+
+@pytest.fixture(scope="session")
+def bert_model() -> SegmentedModel:
+    return build_model("bert-base")
+
+
+@pytest.fixture(scope="session")
+def resnet50_model() -> SegmentedModel:
+    return build_model("resnet50-det")

@@ -1,0 +1,43 @@
+"""Shared test helpers: tiny synthetic models for fast unit tests."""
+
+from __future__ import annotations
+
+from repro.graph.module import Module, ProfileContext
+from repro.graph.ops import Gelu, Linear, Relu
+from repro.models.base import SegmentedModel
+from repro.tensorsim.dtypes import FLOAT32
+from repro.tensorsim.tensor import TensorSpec
+
+GB = 1024**3
+MB = 1024**2
+
+
+class TinyUnit(Module):
+    """A two-layer MLP block.
+
+    Saves one genuinely *internal* activation (the first GELU) besides its
+    output boundary, so checkpointing it actually reclaims memory — the
+    shape a transformer FFN has.  Activation memory is linear in input
+    size.
+    """
+
+    def __init__(self, name: str, features: int, *, checkpointable: bool = True) -> None:
+        super().__init__(name, checkpointable=checkpointable)
+        self.features = features
+
+    def forward(self, ctx: ProfileContext, x: TensorSpec) -> TensorSpec:
+        h = ctx.op(Linear(self.features, self.features), x, name="lin1")
+        h = ctx.op(Gelu(), h, name="act1")
+        h = ctx.op(Linear(self.features, self.features), h, name="lin2")
+        h = ctx.op(Relu(), h, name="act2")
+        return h
+
+
+def make_tiny_model(
+    num_units: int = 4, features: int = 64, name: str = "tiny"
+) -> SegmentedModel:
+    """A small chain of checkpointable Linear+GELU units on float input."""
+    units = [TinyUnit(f"unit.{i}", features) for i in range(num_units)]
+    return SegmentedModel(
+        name, units, input_dtype=FLOAT32, probe_shape=(1, features)
+    )

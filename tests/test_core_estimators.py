@@ -1,0 +1,168 @@
+"""Unit + property tests for the regression model zoo (Table IV families)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    DecisionTreeRegressor,
+    GradientBoostedTrees,
+    NotFittedError,
+    PolynomialRegressor,
+    SupportVectorRegressor,
+    available_regressors,
+    make_regressor,
+)
+
+
+def quad(x, a=3.0, b=2000.0, c=5e5):
+    return a * np.asarray(x, dtype=float) ** 2 + b * np.asarray(x, dtype=float) + c
+
+
+XS = [100, 500, 900, 1500, 2200, 3000, 4200, 5100, 6400, 8000]
+
+
+def test_factory_lists_all_families():
+    names = available_regressors()
+    assert names == ["gbt", "poly1", "poly2", "poly3", "svr", "tree"]
+    for n in names:
+        assert make_regressor(n) is not None
+    with pytest.raises(KeyError):
+        make_regressor("mlp")
+
+
+def test_predict_before_fit_raises():
+    for r in (
+        PolynomialRegressor(2),
+        SupportVectorRegressor(),
+        DecisionTreeRegressor(),
+        GradientBoostedTrees(n_estimators=5),
+    ):
+        with pytest.raises(NotFittedError):
+            r.predict(1.0)
+
+
+def test_quadratic_recovers_exact_polynomial():
+    ys = quad(XS)
+    model = PolynomialRegressor(2).fit(XS, ys)
+    for x in (250, 1200, 7000, 9500):  # includes extrapolation
+        assert model.predict(x) == pytest.approx(quad(x), rel=1e-6)
+
+
+def test_linear_model_underfits_quadratic():
+    ys = quad(XS)
+    lin = PolynomialRegressor(1).fit(XS, ys)
+    err = abs(lin.predict(8000) - quad(8000)) / quad(8000)
+    assert err > 0.01  # the Table IV poly1 gap
+
+
+def test_cubic_also_fits_quadratic():
+    ys = quad(XS)
+    model = PolynomialRegressor(3).fit(XS, ys)
+    assert model.predict(4000) == pytest.approx(quad(4000), rel=1e-5)
+
+
+def test_degree_clamped_to_sample_count():
+    model = PolynomialRegressor(3).fit([1.0, 2.0], [1.0, 2.0])
+    assert model.predict(3.0) == pytest.approx(3.0)
+
+
+def test_invalid_degree():
+    with pytest.raises(ValueError):
+        PolynomialRegressor(0)
+    with pytest.raises(ValueError):
+        PolynomialRegressor(9)
+
+
+def test_tree_is_piecewise_constant_and_cannot_extrapolate():
+    ys = quad(XS)
+    tree = DecisionTreeRegressor().fit(XS, ys)
+    # inside the range it memorises training points
+    assert tree.predict(100) == pytest.approx(quad(100), rel=1e-9)
+    # beyond the range the prediction saturates at a leaf value
+    assert tree.predict(20000) == tree.predict(8000)
+    assert abs(tree.predict(20000) - quad(20000)) / quad(20000) > 0.5
+
+
+def test_tree_interpolation_error_exceeds_quadratic():
+    ys = quad(XS)
+    tree = DecisionTreeRegressor().fit(XS, ys)
+    poly = PolynomialRegressor(2).fit(XS, ys)
+    x = 1900.0  # between training points
+    tree_err = abs(tree.predict(x) - quad(x))
+    poly_err = abs(poly.predict(x) - quad(x))
+    assert tree_err > poly_err * 10
+
+
+def test_svr_fits_but_extrapolates_poorly():
+    ys = quad(XS)
+    svr = SupportVectorRegressor().fit(XS, ys)
+    inside = abs(svr.predict(XS[3]) - quad(XS[3])) / quad(XS[3])
+    outside = abs(svr.predict(16000) - quad(16000)) / quad(16000)
+    assert inside < 0.05
+    assert outside > 0.25
+
+
+def test_gbt_reduces_training_residual():
+    ys = quad(XS)
+    few = GradientBoostedTrees(n_estimators=3).fit(XS, ys)
+    many = GradientBoostedTrees(n_estimators=200).fit(XS, ys)
+    err_few = sum(abs(few.predict(x) - y) for x, y in zip(XS, ys))
+    err_many = sum(abs(many.predict(x) - y) for x, y in zip(XS, ys))
+    assert err_many < err_few
+
+
+def test_gbt_hyperparameter_validation():
+    with pytest.raises(ValueError):
+        GradientBoostedTrees(n_estimators=0)
+    with pytest.raises(ValueError):
+        GradientBoostedTrees(learning_rate=0.0)
+
+
+def test_fit_validation_errors():
+    r = PolynomialRegressor(2)
+    with pytest.raises(ValueError):
+        r.fit([], [])
+    with pytest.raises(ValueError):
+        r.fit([1, 2], [1])
+
+
+def test_predict_many():
+    model = PolynomialRegressor(1).fit([0, 1], [0, 2])
+    np.testing.assert_allclose(model.predict_many([0, 1, 2]), [0, 2, 4], atol=1e-9)
+
+
+# --------------------------------------------------------------- properties
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.floats(0.1, 10),
+    b=st.floats(0, 1e4),
+    c=st.floats(0, 1e6),
+)
+def test_property_quadratic_recovery(a, b, c):
+    """poly2 recovers any planted quadratic from 10 exact samples."""
+    xs = np.linspace(50, 9000, 10)
+    ys = a * xs**2 + b * xs + c
+    model = PolynomialRegressor(2).fit(xs, ys)
+    x = 4321.0
+    truth = a * x**2 + b * x + c
+    assert model.predict(x) == pytest.approx(truth, rel=1e-4, abs=1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(1, 1e5, allow_nan=False), min_size=3, max_size=30, unique=True
+    )
+)
+def test_property_constant_function_fit_by_all(xs):
+    """Every family can at least represent a constant."""
+    ys = [7777.0] * len(xs)
+    for name in available_regressors():
+        model = make_regressor(name)
+        if name == "gbt":
+            model.n_estimators = 10
+        model.fit(xs, ys)
+        assert model.predict(float(xs[0])) == pytest.approx(7777.0, rel=0.01)

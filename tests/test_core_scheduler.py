@@ -1,0 +1,166 @@
+"""Tests for Algorithm 1 (greedy bucketed scheduler) and the knapsack alternative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    GreedyScheduler,
+    KnapsackScheduler,
+    SchedulerInput,
+)
+
+MB = 1 << 20
+
+
+def inp(est, excess, order=None, est_time=None):
+    order = order or {u: i for i, u in enumerate(est)}
+    return SchedulerInput(est_bytes=est, order=order, excess_bytes=excess, est_time=est_time)
+
+
+def test_no_excess_returns_empty():
+    s = GreedyScheduler()
+    assert s.schedule(inp({"a": 10 * MB}, 0)) == frozenset()
+    assert s.schedule(inp({"a": 10 * MB}, -5)) == frozenset()
+
+
+def test_selection_covers_excess():
+    s = GreedyScheduler()
+    est = {f"u{i}": 100 * MB for i in range(12)}
+    chosen = s.schedule(inp(est, 350 * MB))
+    assert sum(est[u] for u in chosen) >= 350 * MB
+    assert len(chosen) == 4  # minimal count for equal sizes
+
+
+def test_prefers_earliest_timestamp_within_bucket():
+    s = GreedyScheduler()
+    est = {f"u{i}": 100 * MB for i in range(12)}
+    chosen = s.schedule(inp(est, 250 * MB))
+    # equal sizes = one bucket; earliest units picked first
+    assert chosen == frozenset({"u0", "u1", "u2"})
+
+
+def test_nearest_size_above_excess_is_selected():
+    """Algorithm 1 line 19: pick the layer closest above the excess."""
+    s = GreedyScheduler()
+    est = {"big": 400 * MB, "mid": 150 * MB, "small": 60 * MB}
+    chosen = s.schedule(inp(est, 100 * MB))
+    assert chosen == frozenset({"mid"})  # not 'big': mid is nearest above
+
+
+def test_largest_first_when_nothing_covers_alone():
+    """Algorithm 1 line 17: fall back to the largest activation."""
+    s = GreedyScheduler()
+    est = {"a": 80 * MB, "b": 60 * MB, "c": 50 * MB}
+    chosen = s.schedule(inp(est, 120 * MB))
+    assert "a" in chosen
+    assert sum(est[u] for u in chosen) >= 120 * MB
+
+
+def test_excess_beyond_everything_drops_all():
+    s = GreedyScheduler()
+    est = {"a": 10 * MB, "b": 10 * MB}
+    chosen = s.schedule(inp(est, 500 * MB))
+    assert chosen == frozenset(est)
+
+
+def test_buckets_group_within_tolerance():
+    s = GreedyScheduler(bucket_tolerance=0.10)
+    est = {
+        "a": 100 * MB, "b": 95 * MB, "c": 91 * MB,  # one bucket (within 10%)
+        "d": 50 * MB, "e": 47 * MB,  # second bucket
+        "f": 10 * MB,  # third
+    }
+    buckets = s.build_buckets(inp(est, 1))
+    assert [sorted(b) for b in buckets] == [["a", "b", "c"], ["d", "e"], ["f"]]
+
+
+def test_buckets_sorted_desc_and_by_timestamp_inside():
+    s = GreedyScheduler()
+    est = {"late": 100 * MB, "early": 98 * MB}
+    order = {"late": 5, "early": 1}
+    buckets = s.build_buckets(inp(est, 1, order=order))
+    assert buckets == [["early", "late"]]
+
+
+def test_zero_tolerance_gives_singleton_buckets():
+    s = GreedyScheduler(bucket_tolerance=0.0)
+    est = {"a": 100 * MB, "b": 100 * MB - 1, "c": 50 * MB}
+    buckets = s.build_buckets(inp(est, 1))
+    assert len(buckets) == 3
+
+
+def test_invalid_tolerance():
+    with pytest.raises(ValueError):
+        GreedyScheduler(bucket_tolerance=1.0)
+    with pytest.raises(ValueError):
+        GreedyScheduler(bucket_tolerance=-0.1)
+
+
+# ------------------------------------------------------------------ knapsack
+
+def test_knapsack_covers_excess_minimising_time():
+    s = KnapsackScheduler()
+    est = {"a": 100 * MB, "b": 100 * MB, "c": 200 * MB}
+    times = {"a": 1.0, "b": 1.0, "c": 0.5}
+    chosen = s.schedule(inp(est, 150 * MB, est_time=times))
+    assert chosen == frozenset({"c"})  # covers 150MB at half the time
+
+
+def test_knapsack_no_excess():
+    assert KnapsackScheduler().schedule(inp({"a": MB}, 0)) == frozenset()
+
+
+def test_knapsack_insufficient_capacity_drops_all():
+    s = KnapsackScheduler()
+    est = {"a": 2 * MB, "b": 2 * MB}
+    assert s.schedule(inp(est, 100 * MB)) == frozenset(est)
+
+
+# --------------------------------------------------------------- properties
+
+@st.composite
+def scheduler_cases(draw):
+    n = draw(st.integers(2, 16))
+    est = {
+        f"u{i}": draw(st.integers(1, 512)) * MB for i in range(n)
+    }
+    total = sum(est.values())
+    excess = draw(st.integers(1, max(total, 2)))
+    return est, excess
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=scheduler_cases())
+def test_property_greedy_always_covers_or_exhausts(case):
+    est, excess = case
+    chosen = GreedyScheduler().schedule(inp(est, excess))
+    dropped = sum(est[u] for u in chosen)
+    if dropped < excess:
+        assert chosen == frozenset(est)  # exhausted everything
+    else:
+        assert dropped >= excess
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scheduler_cases())
+def test_property_greedy_selection_is_not_wasteful(case):
+    """Removing the last-picked unit must leave the excess uncovered
+    (the greedy loop stops as soon as coverage is reached)."""
+    est, excess = case
+    chosen = GreedyScheduler().schedule(inp(est, excess))
+    dropped = sum(est[u] for u in chosen)
+    if dropped >= excess and chosen:
+        # Every pick was needed when it was made, so the selection minus
+        # its largest member cannot cover the excess.
+        largest = max(chosen, key=lambda u: est[u])
+        assert dropped - est[largest] < excess
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scheduler_cases())
+def test_property_knapsack_coverage(case):
+    est, excess = case
+    chosen = KnapsackScheduler().schedule(inp(est, excess))
+    dropped = sum(est[u] for u in chosen)
+    assert dropped >= min(excess, sum(est.values()))

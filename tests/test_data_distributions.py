@@ -1,0 +1,121 @@
+"""Unit + property tests for the workload samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    EmpiricalSampler,
+    PowerLawSampler,
+    TruncatedNormalSampler,
+    UniformSampler,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_uniform_support_and_range():
+    s = UniformSampler(5, 10)
+    draws = s.sample_many(rng(), 500)
+    assert min(draws) >= 5 and max(draws) <= 10
+    assert set(draws) == set(range(5, 11))  # hits every value
+    assert s.support == (5, 10)
+
+
+def test_uniform_validation():
+    with pytest.raises(ValueError):
+        UniformSampler(10, 5)
+    with pytest.raises(ValueError):
+        UniformSampler(0, 5)
+
+
+def test_truncated_normal_stays_in_bounds():
+    s = TruncatedNormalSampler(mean=50, std=30, lo=20, hi=80)
+    draws = s.sample_many(rng(), 1000)
+    assert min(draws) >= 20 and max(draws) <= 80
+    assert 40 < np.mean(draws) < 60
+
+
+def test_truncated_normal_degenerate_mean_out_of_range():
+    s = TruncatedNormalSampler(mean=1000, std=0.001, lo=1, hi=10)
+    assert s.sample(rng()) == 10  # clamped fallback
+
+
+def test_truncated_normal_validation():
+    with pytest.raises(ValueError):
+        TruncatedNormalSampler(10, 0, 1, 5)
+    with pytest.raises(ValueError):
+        TruncatedNormalSampler(10, 1, 5, 1)
+
+
+def test_powerlaw_skews_short():
+    s = PowerLawSampler(alpha=2.5, lo=10, hi=1000)
+    draws = s.sample_many(rng(), 2000)
+    assert min(draws) >= 10 and max(draws) <= 1000
+    assert np.median(draws) < 60  # heavy concentration near lo
+    assert max(draws) > 200  # but the tail reaches far
+
+
+def test_powerlaw_alpha_controls_tail():
+    light = PowerLawSampler(alpha=4.0, lo=10, hi=1000)
+    heavy = PowerLawSampler(alpha=1.5, lo=10, hi=1000)
+    assert np.mean(light.sample_many(rng(1), 2000)) < np.mean(
+        heavy.sample_many(rng(1), 2000)
+    )
+
+
+def test_powerlaw_validation():
+    with pytest.raises(ValueError):
+        PowerLawSampler(alpha=1.0, lo=1, hi=10)
+    with pytest.raises(ValueError):
+        PowerLawSampler(alpha=2.0, lo=10, hi=1)
+
+
+def test_empirical_sampler_uniform_default():
+    s = EmpiricalSampler([3, 7, 11])
+    draws = set(s.sample_many(rng(), 300))
+    assert draws == {3, 7, 11}
+    assert s.support == (3, 11)
+
+
+def test_empirical_sampler_weights():
+    s = EmpiricalSampler([1, 2], weights=[0.99, 0.01])
+    draws = s.sample_many(rng(), 500)
+    assert draws.count(1) > 400
+
+
+def test_empirical_validation():
+    with pytest.raises(ValueError):
+        EmpiricalSampler([])
+    with pytest.raises(ValueError):
+        EmpiricalSampler([1, 2], weights=[1.0])
+    with pytest.raises(ValueError):
+        EmpiricalSampler([1, 2], weights=[-1.0, 2.0])
+
+
+def test_determinism_given_seed():
+    s = PowerLawSampler(alpha=2.0, lo=1, hi=100)
+    assert s.sample_many(rng(42), 50) == s.sample_many(rng(42), 50)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lo=st.integers(1, 100),
+    width=st.integers(0, 400),
+    alpha=st.floats(1.1, 5.0),
+    seed=st.integers(0, 999),
+)
+def test_property_samplers_respect_support(lo, width, alpha, seed):
+    hi = lo + width
+    g = rng(seed)
+    for s in (
+        UniformSampler(lo, hi),
+        TruncatedNormalSampler((lo + hi) / 2, max((hi - lo) / 4, 1), lo, hi),
+        PowerLawSampler(alpha, lo, hi),
+    ):
+        for _ in range(20):
+            v = s.sample(g)
+            assert lo <= v <= hi

@@ -1,0 +1,64 @@
+"""The documentation must not rot: every Python block in
+docs/walkthrough.md executes, and every example script parses and shows
+--help without crashing."""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _python_blocks(markdown: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+def test_walkthrough_blocks_execute():
+    doc = (ROOT / "docs" / "walkthrough.md").read_text()
+    blocks = _python_blocks(doc)
+    assert len(blocks) >= 5
+    namespace: dict[str, object] = {}
+    for i, block in enumerate(blocks):
+        # shrink the expensive bits so the doc test stays fast
+        block = block.replace("iterations=100", "iterations=8")
+        block = block.replace('(32, 256)', '(8, 64)')
+        block = block.replace(
+            '("baseline", "sublinear", "dtr", "mimose")',
+            '("baseline", "sublinear")',
+        )
+        block = block.replace(
+            '"mimose", "sublinear"', '"sublinear", "baseline"'
+        )
+        try:
+            exec(compile(block, f"walkthrough-block-{i}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - explicit failure path
+            pytest.fail(f"walkthrough block {i} failed: {exc}\n{block}")
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in (ROOT / "examples").glob("*.py")),
+)
+def test_example_scripts_show_help(script):
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / script), "--help"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "usage" in proc.stdout.lower()
+
+
+def test_examples_exist():
+    names = {p.name for p in (ROOT / "examples").glob("*.py")}
+    assert {
+        "quickstart.py",
+        "nlp_finetune.py",
+        "object_detection.py",
+        "custom_scheduler.py",
+        "memory_timeline.py",
+    } <= names

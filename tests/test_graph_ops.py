@@ -1,0 +1,283 @@
+"""Unit + property tests for operator shape inference and cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ops import (
+    Add,
+    AdaptiveAvgPool2d,
+    BatchMatMul,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    CrossEntropyLoss,
+    Dropout,
+    Embedding,
+    Gelu,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Mul,
+    Relu,
+    Reshape,
+    Scale,
+    ShapeError,
+    Softmax,
+    Tanh,
+    Transpose,
+)
+from repro.tensorsim.dtypes import BOOL, FLOAT32, INT64
+from repro.tensorsim.tensor import TensorSpec
+
+
+def spec(*shape, dtype=FLOAT32):
+    return TensorSpec(tuple(shape), dtype)
+
+
+# ------------------------------------------------------------- elementwise
+
+def test_relu_preserves_shape_and_saves_output():
+    p = Relu().profile(spec(4, 8))
+    assert p.output == spec(4, 8)
+    assert p.saves_output
+    assert p.saved == (spec(4, 8),)
+
+
+def test_gelu_tanh_save_output():
+    for op in (Gelu(), Tanh()):
+        p = op.profile(spec(3, 5))
+        assert p.saves_output
+        assert p.flops > 0
+
+
+def test_add_requires_same_shape():
+    p = Add().profile(spec(2, 2), spec(2, 2))
+    assert p.output == spec(2, 2)
+    assert p.saved == ()
+    with pytest.raises(ShapeError):
+        Add().profile(spec(2, 2), spec(2, 3))
+
+
+def test_mul_shape_check():
+    with pytest.raises(ShapeError):
+        Mul().profile(spec(2), spec(3))
+
+
+def test_scale_costs_nothing_extra():
+    p = Scale(0.125).profile(spec(10,))
+    assert p.output == spec(10,)
+    assert not p.saves_output
+
+
+def test_dropout_saves_byte_mask():
+    p = Dropout(0.1).profile(spec(4, 4))
+    assert p.output == spec(4, 4)
+    masks = [s for s in p.saved if s.dtype is BOOL]
+    assert masks == [TensorSpec((4, 4), BOOL)]
+
+
+def test_dropout_invalid_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+# ----------------------------------------------------- normalisation / softmax
+
+def test_softmax_saves_output():
+    p = Softmax().profile(spec(2, 8, 8))
+    assert p.saves_output
+
+
+def test_layernorm_params_and_check():
+    p = LayerNorm(16).profile(spec(4, 16))
+    assert p.param_count == 32
+    with pytest.raises(ShapeError):
+        LayerNorm(16).profile(spec(4, 8))
+
+
+def test_batchnorm_requires_4d_and_channel_match():
+    p = BatchNorm2d(8).profile(spec(2, 8, 4, 4))
+    assert p.param_count == 16
+    with pytest.raises(ShapeError):
+        BatchNorm2d(8).profile(spec(2, 8, 4))
+    with pytest.raises(ShapeError):
+        BatchNorm2d(8).profile(spec(2, 4, 4, 4))
+
+
+# ---------------------------------------------------------------- reductions
+
+def test_linear_shapes_params_flops():
+    op = Linear(64, 128)
+    p = op.profile(spec(10, 64))
+    assert p.output == spec(10, 128)
+    assert p.param_count == 64 * 128 + 128
+    assert p.flops == 2 * 10 * 64 * 128
+    assert p.bwd_flops == 2 * p.flops
+
+
+def test_linear_no_bias():
+    assert Linear(4, 4, bias=False).profile(spec(1, 4)).param_count == 16
+
+
+def test_linear_shape_mismatch():
+    with pytest.raises(ShapeError):
+        Linear(64, 128).profile(spec(10, 32))
+
+
+def test_linear_invalid_features():
+    with pytest.raises(ValueError):
+        Linear(0, 4)
+
+
+def test_batchmatmul_plain_and_transposed():
+    a, b = spec(2, 3, 4, 8), spec(2, 3, 8, 5)
+    p = BatchMatMul().profile(a, b)
+    assert p.output == spec(2, 3, 4, 5)
+    assert p.flops == 2 * 6 * 4 * 5 * 8
+    bt = spec(2, 3, 5, 8)
+    pt = BatchMatMul(transpose_b=True).profile(a, bt)
+    assert pt.output == spec(2, 3, 4, 5)
+
+
+def test_batchmatmul_errors():
+    with pytest.raises(ShapeError):
+        BatchMatMul().profile(spec(4), spec(4))
+    with pytest.raises(ShapeError):
+        BatchMatMul().profile(spec(2, 4, 8), spec(3, 8, 2))
+    with pytest.raises(ShapeError):
+        BatchMatMul().profile(spec(2, 4, 8), spec(2, 7, 2))
+
+
+def test_conv2d_output_shape_and_params():
+    op = Conv2d(3, 64, kernel_size=7, stride=2, padding=3)
+    p = op.profile(spec(2, 3, 224, 224))
+    assert p.output == spec(2, 64, 112, 112)
+    assert p.param_count == 3 * 64 * 49
+
+
+def test_conv2d_collapsed_output_rejected():
+    with pytest.raises(ShapeError):
+        Conv2d(3, 8, kernel_size=7).profile(spec(1, 3, 4, 4))
+
+
+def test_conv2d_channel_mismatch():
+    with pytest.raises(ShapeError):
+        Conv2d(3, 8).profile(spec(1, 4, 32, 32))
+
+
+def test_maxpool_saves_indices():
+    p = MaxPool2d(kernel_size=3, stride=2, padding=1).profile(spec(2, 8, 16, 16))
+    assert p.output == spec(2, 8, 8, 8)
+    assert p.saved[0].dtype is INT64
+
+
+# -------------------------------------------------------------- fixed output
+
+def test_adaptive_avgpool_fixed_output():
+    op = AdaptiveAvgPool2d((1, 1))
+    for hw in (7, 14, 29):
+        p = op.profile(spec(2, 16, hw, hw))
+        assert p.output == spec(2, 16, 1, 1)
+
+
+# ------------------------------------------------------------- lookup / view
+
+def test_embedding_shape_and_params():
+    op = Embedding(1000, 64)
+    p = op.profile(spec(4, 7, dtype=INT64))
+    assert p.output == spec(4, 7, 64)
+    assert p.param_count == 64000
+
+
+def test_embedding_rejects_float_ids():
+    with pytest.raises(ShapeError):
+        Embedding(10, 4).profile(spec(4, 7))
+
+
+def test_reshape_wildcard_and_checks():
+    p = Reshape((2, -1)).profile(spec(4, 3))
+    assert p.output == spec(2, 6)
+    with pytest.raises(ShapeError):
+        Reshape((-1, -1)).profile(spec(4,))
+    with pytest.raises(ShapeError):
+        Reshape((5,)).profile(spec(4,))
+    with pytest.raises(ShapeError):
+        Reshape((3, -1)).profile(spec(4,))
+
+
+def test_transpose_swaps_axes():
+    p = Transpose(1, 2).profile(spec(2, 3, 4))
+    assert p.output == spec(2, 4, 3)
+    with pytest.raises(ShapeError):
+        Transpose(5, 6).profile(spec(2, 3))
+
+
+def test_views_cost_nothing():
+    for p in (
+        Reshape((6,)).profile(spec(2, 3)),
+        Transpose(0, 1).profile(spec(2, 3)),
+    ):
+        assert p.flops == 0
+        assert p.saved == ()
+
+
+def test_concat_shapes():
+    p = Concat(axis=1).profile(spec(2, 3), spec(2, 5))
+    assert p.output == spec(2, 8)
+    with pytest.raises(ShapeError):
+        Concat(axis=1).profile(spec(2, 3), spec(3, 5))
+    with pytest.raises(ShapeError):
+        Concat().profile()
+
+
+def test_cross_entropy_scalar_output_saves_probs():
+    p = CrossEntropyLoss().profile(spec(8, 10))
+    assert p.output.shape == ()
+    assert p.saved == (spec(8, 10),)
+    with pytest.raises(ShapeError):
+        CrossEntropyLoss().profile(spec(8))
+
+
+# --------------------------------------------------------------- properties
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(1, 64),
+    fin=st.integers(1, 96),
+    fout=st.integers(1, 96),
+)
+def test_linear_flops_scale_linearly(rows, fin, fout):
+    p = Linear(fin, fout).profile(spec(rows, fin))
+    assert p.flops == 2.0 * rows * fin * fout
+    assert p.output.numel == rows * fout
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    b=st.integers(1, 4),
+    c=st.integers(1, 8),
+    h=st.integers(8, 64),
+    k=st.sampled_from([1, 3, 5]),
+    s=st.sampled_from([1, 2]),
+)
+def test_conv_output_never_larger_than_padded_input(b, c, h, k, s):
+    pad = k // 2
+    op = Conv2d(c, c, kernel_size=k, stride=s, padding=pad)
+    p = op.profile(spec(b, c, h, h))
+    oh = p.output.shape[2]
+    assert 1 <= oh <= h
+    if s == 1:
+        assert oh == h  # same-padding convolution preserves size
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.lists(st.integers(1, 8), min_size=1, max_size=4).map(tuple)
+)
+def test_elementwise_ops_preserve_numel(shape):
+    x = TensorSpec(shape, FLOAT32)
+    for op in (Relu(), Gelu(), Tanh(), Softmax(), Dropout(0.1), Scale(2.0)):
+        assert op.profile(x).output.numel == x.numel

@@ -1,0 +1,164 @@
+"""Deeper architectural tests for the model zoo: per-op structure, cost
+scaling, and the exact shapes the paper's analysis (§IV-C) relies on."""
+
+import pytest
+
+from repro.models.base import BatchInput
+from repro.models.bert import BertConfig, BertEncoderLayer
+from repro.models.registry import build_model
+from repro.models.resnet import Bottleneck, ResNetStem
+from repro.models.t5 import T5Config, T5DecoderLayer, T5EncoderLayer
+from repro.planners.analysis import (
+    boundary_bytes,
+    unit_saved_bytes,
+    unit_transient_bytes,
+)
+from repro.tensorsim.dtypes import FLOAT32
+from repro.tensorsim.tensor import TensorSpec
+
+
+def hidden_spec(b, length, dim=768):
+    return TensorSpec((b, length, dim), FLOAT32)
+
+
+# ----------------------------------------------------------------- bert parts
+
+def test_encoder_activation_inventory():
+    """The encoder pins exactly the tensors §IV-C enumerates: softmax
+    probabilities (quadratic), dropout masks, GELU output, LayerNorm
+    outputs, plus the per-op saved set."""
+    enc = BertEncoderLayer(BertConfig(), 0)
+    p = enc.profile(hidden_spec(2, 64))
+    saved = [a for a in p.activations if a.saved]
+    names = " ".join(a.name for a in saved)
+    assert "softmax" in names
+    assert "gelu" in names
+    assert "ln" in names
+    # dropout masks present (attention, attention-out, ffn)
+    masks = [a for a in saved if a.spec.dtype.itemsize == 1]
+    assert len(masks) == 3
+
+
+def test_encoder_quadratic_term_is_the_score_tensor():
+    enc = BertEncoderLayer(BertConfig(), 0)
+    p = enc.profile(hidden_spec(1, 128))
+    quad = [a for a in p.activations if a.spec.shape[-2:] == (128, 128)]
+    assert quad, "expected seqlen x seqlen tensors"
+    # scores (transient), softmax probs (saved), attn dropout mask+output
+    assert any(a.saved for a in quad)
+    assert any(not a.saved for a in quad)
+
+
+def test_encoder_flops_quadratic_in_seqlen():
+    enc = BertEncoderLayer(BertConfig(), 0)
+    f = {}
+    for length in (128, 256, 512):
+        f[length] = enc.profile(hidden_spec(1, length)).fwd_flops
+    # linear layers dominate at short lengths; attention pushes the ratio
+    # beyond pure-linear scaling as length doubles
+    assert f[256] / f[128] > 2.0
+    assert f[512] / f[256] > f[256] / f[128]
+
+
+def test_encoder_memory_linear_in_batch():
+    enc = BertEncoderLayer(BertConfig(), 0)
+    m1 = unit_saved_bytes(enc.profile(hidden_spec(4, 128)))
+    m2 = unit_saved_bytes(enc.profile(hidden_spec(8, 128)))
+    assert m2 == pytest.approx(2 * m1, rel=1e-6)
+
+
+# ------------------------------------------------------------------- t5 parts
+
+def test_t5_cross_attention_doubles_score_tensors():
+    cfg = T5Config()
+    enc = T5EncoderLayer(cfg, 0)
+    dec = T5DecoderLayer(cfg, 0)
+    x = hidden_spec(2, 64)
+    enc_quads = [
+        a for a in enc.profile(x).activations if a.spec.shape[-2:] == (64, 64)
+    ]
+    dec_quads = [
+        a for a in dec.profile(x).activations if a.spec.shape[-2:] == (64, 64)
+    ]
+    assert len(dec_quads) == 2 * len(enc_quads)
+
+
+def test_t5_bias_free_linears():
+    cfg = T5Config()
+    enc = T5EncoderLayer(cfg, 0)
+    p = enc.profile(hidden_spec(1, 8))
+    # 4 attention projections + 2 ffn, all bias-free, plus 2 layernorms
+    h, f = cfg.hidden_size, cfg.ff_size
+    expected = 4 * h * h + h * f + f * h + 2 * 2 * h
+    assert p.param_count == expected
+
+
+# --------------------------------------------------------------- resnet parts
+
+def test_stem_downsamples_four_x():
+    stem = ResNetStem()
+    p = stem.profile(TensorSpec((2, 3, 224, 224), FLOAT32))
+    assert p.output.shape == (2, 64, 56, 56)
+
+
+def test_bottleneck_projection_only_when_needed():
+    plain = Bottleneck("b", 256, 64, stride=1)
+    assert not plain.has_projection
+    strided = Bottleneck("b", 256, 128, stride=2)
+    assert strided.has_projection
+    first = Bottleneck("b", 64, 64, stride=1)  # channel change 64 -> 256
+    assert first.has_projection
+
+
+def test_bottleneck_shapes_and_params():
+    blk = Bottleneck("b", 256, 64)
+    p = blk.profile(TensorSpec((1, 256, 56, 56), FLOAT32))
+    assert p.output.shape == (1, 256, 56, 56)
+    conv_params = 256 * 64 + 64 * 64 * 9 + 64 * 256
+    bn_params = 2 * (64 + 64 + 256)
+    assert p.param_count == conv_params + bn_params
+
+
+def test_bottleneck_memory_halves_with_stride():
+    blk1 = Bottleneck("a", 256, 128, stride=1)
+    blk2 = Bottleneck("b", 256, 128, stride=2)
+    x = TensorSpec((1, 256, 56, 56), FLOAT32)
+    assert unit_saved_bytes(blk2.profile(x)) < unit_saved_bytes(blk1.profile(x))
+
+
+def test_resnet_boundary_dominance():
+    """In CNNs the inter-unit boundaries are comparable to internals —
+    the reason full checkpointing saves less than on transformers."""
+    model = build_model("resnet50-det")
+    profiles = model.profiles(BatchInput((2, 3, 512, 512), FLOAT32))
+    by_name = {p.module_name: p for p in profiles}
+    blk = by_name["layer1.0"]
+    assert boundary_bytes(blk) > 0.1 * unit_saved_bytes(blk)
+
+
+# ------------------------------------------------------------------ uniform
+
+@pytest.mark.parametrize(
+    "name", ["bert-base", "roberta-base", "t5-base", "gpt2-small", "swin-tiny"]
+)
+def test_every_unit_has_positive_cost(name):
+    model = build_model(name)
+    batch = model.probe_batch()
+    for p in model.profiles(batch):
+        assert p.fwd_flops > 0, p.module_name
+        assert p.bwd_flops > 0, p.module_name
+        assert p.output.numel > 0
+
+
+@pytest.mark.parametrize(
+    "name", ["bert-base", "t5-base", "resnet50-det", "swin-tiny", "gpt2-small"]
+)
+def test_transients_exist_everywhere(name):
+    """Every architecture has forward-only working tensors — the memory
+    the pipeline-liveness model (executor + predictor) must agree on."""
+    model = build_model(name)
+    batch = model.probe_batch()
+    total_transient = sum(
+        unit_transient_bytes(p) for p in model.profiles(batch)
+    )
+    assert total_transient > 0

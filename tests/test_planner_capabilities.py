@@ -1,0 +1,86 @@
+"""Table I: the qualitative capability matrix must match the paper."""
+
+from repro.core.planner import MimosePlanner
+from repro.experiments.tables import table1_rows
+from repro.planners.checkmate import CheckmatePlanner
+from repro.planners.dtr import DTRPlanner
+from repro.planners.monet import MonetPlanner
+from repro.planners.sublinear import SublinearPlanner
+
+
+def rows_by_name():
+    return {r["planner"]: r for r in table1_rows()}
+
+
+def test_every_planner_appears():
+    names = set(rows_by_name())
+    assert {"mimose", "dtr", "sublinear", "checkmate", "monet", "baseline"} <= names
+
+
+def test_nobody_swaps_everyone_checkpoints():
+    rows = rows_by_name()
+    for name in ("mimose", "dtr", "sublinear", "checkmate", "monet"):
+        assert not rows[name]["swapping"]
+        assert rows[name]["checkpointing"]
+
+
+def test_dynamic_input_column():
+    """Paper Table I: only Mimose and DTR handle dynamic input."""
+    rows = rows_by_name()
+    assert rows["mimose"]["dynamic_input"]
+    assert rows["dtr"]["dynamic_input"]
+    for name in ("sublinear", "checkmate", "monet"):
+        assert not rows[name]["dynamic_input"]
+
+
+def test_dynamic_graph_column():
+    rows = rows_by_name()
+    assert rows["dtr"]["dynamic_graph"]
+    assert not rows["mimose"]["dynamic_graph"]
+
+
+def test_fragmentation_avoidance():
+    rows = rows_by_name()
+    assert rows["mimose"]["frag_avoidance"] == "side-effect"
+    assert rows["dtr"]["frag_avoidance"] == "none"
+
+
+def test_granularity_column():
+    rows = rows_by_name()
+    assert rows["mimose"]["granularity"] == "block"
+    assert rows["dtr"]["granularity"] == "tensor"
+    assert rows["sublinear"]["granularity"] == "layer"
+    assert rows["checkmate"]["granularity"] == "layer"
+    assert rows["monet"]["granularity"] == "tensor"
+
+
+def test_plan_timing_column():
+    rows = rows_by_name()
+    assert rows["mimose"]["plan_timing"] == "runtime"
+    assert rows["dtr"]["plan_timing"] == "runtime"
+    for name in ("sublinear", "checkmate", "monet"):
+        assert rows[name]["plan_timing"] == "offline"
+
+
+def test_search_space_and_algorithm():
+    rows = rows_by_name()
+    assert rows["mimose"]["search_space"] == "holistic"
+    assert rows["dtr"]["search_space"] == "currently traced tensors"
+    assert rows["sublinear"]["search_space"] == "segments"
+    assert rows["checkmate"]["search_algorithm"] == "MILP+approx."
+    assert rows["monet"]["search_algorithm"] == "MILP"
+    assert rows["mimose"]["search_algorithm"] == "greedy"
+
+
+def test_solving_time_ordering():
+    """Mimose/DTR/Sublinear solve in sub-seconds; the MILP planners model
+    hours of offline solving."""
+    assert MimosePlanner(1).solve_time_s == 0.0
+    assert DTRPlanner(1).solve_time_s == 0.0
+    from repro.models.base import BatchInput
+    from repro.tensorsim.dtypes import INT64
+
+    b = BatchInput((1, 16), INT64)
+    assert CheckmatePlanner(1, b).solve_time_s >= 3600
+    assert MonetPlanner(1, b).solve_time_s >= 8 * 3600
+    assert SublinearPlanner(1, b).solve_time_s == 0.0

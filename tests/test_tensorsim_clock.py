@@ -1,0 +1,48 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.tensorsim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_advance_accumulates_and_returns_new_time():
+    clock = SimClock()
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.5) == 2.0
+    assert clock.now == 2.0
+
+
+def test_zero_advance_is_allowed():
+    clock = SimClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_reset():
+    clock = SimClock()
+    clock.advance(10.0)
+    clock.reset()
+    assert clock.now == 0.0
+    clock.reset(3.0)
+    assert clock.now == 3.0
+    with pytest.raises(ValueError):
+        clock.reset(-1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the roofline device model."""
+
+import pytest
+
+from repro.tensorsim.device import DeviceModel, DevicePreset, TOY, V100
+
+
+def test_v100_constants():
+    assert V100.memory_capacity == 16 * 1024**3
+    assert V100.peak_flops > 1e13
+
+
+def test_kernel_time_has_launch_floor():
+    dev = DeviceModel(V100)
+    assert dev.kernel_time(0, 0) == V100.launch_overhead
+
+
+def test_compute_bound_kernel():
+    dev = DeviceModel(TOY)
+    # enormous flops, no bytes: time is dominated by compute
+    t = dev.kernel_time(1e12, 0)
+    expected = 1e12 / (TOY.peak_flops * TOY.compute_efficiency)
+    assert t == pytest.approx(TOY.launch_overhead + expected)
+
+
+def test_bandwidth_bound_kernel():
+    dev = DeviceModel(TOY)
+    t = dev.kernel_time(0, 1e9)
+    expected = 1e9 / (TOY.mem_bandwidth * TOY.bandwidth_efficiency)
+    assert t == pytest.approx(TOY.launch_overhead + expected)
+
+
+def test_roofline_takes_max_not_sum():
+    dev = DeviceModel(TOY)
+    t_both = dev.kernel_time(1e12, 1e9)
+    t_compute = dev.kernel_time(1e12, 0)
+    assert t_both == pytest.approx(t_compute)  # compute dominates here
+
+
+def test_monotone_in_flops_and_bytes():
+    dev = DeviceModel()
+    assert dev.kernel_time(2e12, 0) > dev.kernel_time(1e12, 0)
+    assert dev.kernel_time(0, 2e9) > dev.kernel_time(0, 1e9)
+
+
+def test_negative_costs_rejected():
+    dev = DeviceModel()
+    with pytest.raises(ValueError):
+        dev.kernel_time(-1, 0)
+    with pytest.raises(ValueError):
+        dev.kernel_time(0, -1)
+    with pytest.raises(ValueError):
+        dev.transfer_time(-5)
+
+
+def test_transfer_time_pcie_is_slow():
+    """The paper dismisses swapping because PCIe ~12 GB/s << HBM ~900 GB/s."""
+    dev = DeviceModel(V100)
+    nbytes = 1 << 30
+    assert dev.transfer_time(nbytes) > 10 * dev.kernel_time(0, nbytes)
+
+
+def test_custom_preset():
+    preset = DevicePreset(
+        name="X",
+        peak_flops=1e12,
+        mem_bandwidth=1e11,
+        launch_overhead=0.0,
+        memory_capacity=1024,
+        compute_efficiency=1.0,
+        bandwidth_efficiency=1.0,
+    )
+    dev = DeviceModel(preset)
+    assert dev.kernel_time(1e12, 0) == pytest.approx(1.0)
+    assert dev.memory_capacity == 1024

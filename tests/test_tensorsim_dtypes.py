@@ -1,0 +1,66 @@
+"""Unit tests for the dtype registry."""
+
+import pytest
+
+from repro.tensorsim.dtypes import (
+    BOOL,
+    DType,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    dtype_by_name,
+    register_dtype,
+)
+
+
+def test_builtin_itemsizes():
+    assert FLOAT16.itemsize == 2
+    assert FLOAT32.itemsize == 4
+    assert FLOAT64.itemsize == 8
+    assert INT32.itemsize == 4
+    assert INT64.itemsize == 8
+    assert BOOL.itemsize == 1
+
+
+def test_floating_flags():
+    assert FLOAT32.is_floating
+    assert FLOAT16.is_floating
+    assert not INT64.is_floating
+    assert not BOOL.is_floating
+
+
+def test_lookup_by_name():
+    assert dtype_by_name("float32") is FLOAT32
+    assert dtype_by_name("int64") is INT64
+
+
+def test_lookup_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown dtype"):
+        dtype_by_name("bfloat99")
+
+
+def test_register_custom_dtype_and_idempotency():
+    custom = DType("testtype8", 1, is_floating=False)
+    assert register_dtype(custom) is custom
+    assert dtype_by_name("testtype8") == custom
+    # re-registering the identical dtype is fine
+    register_dtype(DType("testtype8", 1, is_floating=False))
+
+
+def test_register_conflicting_dtype_raises():
+    register_dtype(DType("conflict16", 2))
+    with pytest.raises(ValueError, match="already registered"):
+        register_dtype(DType("conflict16", 4))
+
+
+def test_nonpositive_itemsize_rejected():
+    with pytest.raises(ValueError):
+        DType("bad", 0)
+    with pytest.raises(ValueError):
+        DType("bad", -4)
+
+
+def test_str_is_name():
+    assert str(FLOAT32) == "float32"
