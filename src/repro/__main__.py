@@ -16,6 +16,44 @@ import sys
 from repro.experiments.report import render_table
 from repro.experiments.runner import PLANNER_NAMES, run_task, sweep
 from repro.experiments.tasks import GB, TASKS, load_task
+from repro.tensorsim.faults import FaultPlan
+
+
+def _parse_faults(args: argparse.Namespace) -> FaultPlan | None:
+    if not args.faults:
+        return None
+    try:
+        return FaultPlan.parse(args.faults, seed=args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid --faults spec: {exc}") from exc
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help=(
+            "fault-injection spec, ';'-separated clauses: "
+            "'frag:start=20,iters=3,bytes=512M' (fragmentation spike), "
+            "'alloc:start=30,count=2,min=1M' (transient alloc failures), "
+            "'noise:sigma=0.05,bias=-0.1' (measurement noise)"
+        ),
+    )
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=3,
+        help="OOM recovery retry budget per iteration (0 disables recovery)",
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -53,11 +91,22 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     task = load_task(args.task, iterations=args.iterations, seed=args.seed)
     budget = int(args.budget_gb * GB)
+    faults = _parse_faults(args)
+    # Both runs are capped at the same iteration count so normalized_time
+    # compares runs of equal length; the baseline stays fault-free as the
+    # normalisation reference.
     baseline = run_task(task, "baseline", budget, max_iterations=args.iterations)
     result = (
         baseline
-        if args.planner == "baseline"
-        else run_task(task, args.planner, budget)
+        if args.planner == "baseline" and faults is None
+        else run_task(
+            task,
+            args.planner,
+            budget,
+            max_iterations=args.iterations,
+            faults=faults,
+            max_retries=args.max_retries,
+        )
     )
     breakdown = result.time_breakdown()
     rows = [
@@ -71,14 +120,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "recompute_s": breakdown["recompute_time"],
             "overhead_frac": result.overhead_fraction(),
             "oom_iterations": result.oom_count,
+            "retries": result.total_retries,
+            "recovered": result.recovered_count,
         }
     ]
-    print(
-        render_table(
-            rows,
-            title=f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)",
+    title = f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)"
+    if faults is not None:
+        title += f" [faults: {faults.describe()}]"
+    print(render_table(rows, title=title))
+    if result.recovered_count:
+        modes = ", ".join(
+            f"{mode} x{count}"
+            for mode, count in sorted(result.recovery_modes().items())
         )
-    )
+        print(f"recovery: {modes}")
     return 0 if result.succeeded else 1
 
 
@@ -86,7 +141,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     task = load_task(args.task, iterations=args.iterations, seed=args.seed)
     budgets = task.default_budgets(args.points)
     planners = args.planners.split(",") if args.planners else list(PLANNER_NAMES)
-    results = sweep(task, planners, budgets)
+    faults = _parse_faults(args)
+    results = sweep(
+        task, planners, budgets, faults=faults, max_retries=args.max_retries
+    )
     baseline = next(r for r in results if r.planner_name == "baseline")
     rows = []
     for r in results:
@@ -97,9 +155,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "normalized_time": r.normalized_time(baseline),
                 "peak_reserved_gb": r.peak_reserved / GB,
                 "oom": r.oom_count,
+                "retries": r.total_retries,
+                "recovered": r.recovered_count,
             }
         )
-    print(render_table(rows, title=f"{args.task} sweep"))
+    title = f"{args.task} sweep"
+    if faults is not None:
+        title += f" [faults: {faults.describe()}]"
+    print(render_table(rows, title=title))
     return 0
 
 
@@ -139,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--budget-gb", type=float, required=True)
     run_p.add_argument("--iterations", type=int, default=60)
     run_p.add_argument("--seed", type=int, default=0)
+    _add_fault_options(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="Fig 10-style budget sweep")
@@ -147,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--points", type=int, default=4)
     sweep_p.add_argument("--iterations", type=int, default=60)
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_fault_options(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 
     table_p = sub.add_parser("table", help="regenerate a paper table")

@@ -21,6 +21,14 @@ Iteration lifecycle:
 Safety: Mimose reserves ``headroom_bytes`` below the budget (the paper's
 0.5–1 GB fragmentation reserve, Fig 11); if an iteration still OOMs, the
 headroom is doubled-up by ``headroom_step`` and the cache invalidated.
+
+Recovery: when the executor allows retries, an OOM iteration is rolled
+back and replayed under an escalation ladder (:meth:`MimosePlanner
+.recover`): drop all cached plans and replan → widen the reserve and
+replan → fall back to a full-checkpoint (Sublinear-like) plan.  This is
+the runtime reaction DTR (Kirisame et al.) argues for, applied to
+Mimose's own safety knobs, and it is what lets a run "train
+successfully" through a transient pressure event instead of dying.
 """
 
 from __future__ import annotations
@@ -64,6 +72,7 @@ class MimosePlanner(Planner):
     """
 
     name = "mimose"
+    supports_recovery = True
     capabilities = PlannerCapabilities(
         dynamic_input=True,
         fragmentation_avoidance="side-effect",
@@ -118,11 +127,11 @@ class MimosePlanner(Planner):
         self._warmup_reserve = max(
             self.headroom_bytes, int(0.10 * budget_bytes)
         )
-        self._last_prediction: dict[int, int] = {}
-        # bookkeeping for Table III
+        # bookkeeping for Table III / recovery reporting
         self.collect_count = 0
         self.plan_count = 0
         self.fit_count = 0
+        self.recovery_attempts = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -199,8 +208,9 @@ class MimosePlanner(Planner):
             total = int(total * (1.0 + self.residuals.margin()))
         excess = total - self._usable_budget()
         if excess <= 0:
-            self._last_prediction[size] = total
-            return CheckpointPlan(frozenset(), "mimose")
+            return CheckpointPlan(
+                frozenset(), "mimose", predicted_peak_bytes=total
+            )
         est_time = {
             u: self.estimator.predict_time(u, size) for u in est
         }
@@ -212,8 +222,14 @@ class MimosePlanner(Planner):
                 est_time=est_time,
             )
         )
-        self._last_prediction[size] = total - sum(est[u] for u in chosen)
-        return CheckpointPlan(chosen, "mimose")
+        # The prediction travels with the plan (through the cache and into
+        # the iteration stats) so residual tracking attributes every
+        # observation to the plan that produced it — cache hits included.
+        return CheckpointPlan(
+            chosen,
+            "mimose",
+            predicted_peak_bytes=total - sum(est[u] for u in chosen),
+        )
 
     # --------------------------------------------------------------- observe
 
@@ -227,19 +243,72 @@ class MimosePlanner(Planner):
                 self._fit()
             return
         if stats.oom:
-            # Misprediction: widen the reserve and drop stale plans.
+            # Misprediction: widen the reserve and drop stale plans (the
+            # cached plans carry their predictions, so clearing the cache
+            # also discards every stale prediction in one stroke).
             self.headroom_bytes += self.headroom_step
             self.cache.clear()
             return
-        predicted = self._last_prediction.get(stats.input_size)
-        if predicted:
+        # The prediction rides on the stats (copied from the issuing plan
+        # by the executor), so cache-served iterations feed the trackers
+        # too — `is not None` because a prediction of zero bytes is a
+        # value, not an absence.
+        predicted = stats.predicted_peak_bytes
+        if predicted is not None:
             # relative estimator error and absolute allocator slack are
             # tracked separately — the reserved-over-used gap (caching and
             # segment pooling) does not scale with the predicted volume
-            self.residuals.record(predicted, stats.peak_in_use)
+            if predicted > 0:
+                self.residuals.record(predicted, stats.peak_in_use)
             self.frag_observed.record(
                 max(0, stats.peak_reserved - stats.peak_in_use)
             )
+
+    # -------------------------------------------------------------- recovery
+
+    def recover(
+        self, batch: BatchInput, failed: IterationStats, attempt: int
+    ) -> Optional[PlanDecision]:
+        """Escalation ladder after an OOM iteration.
+
+        Rung 0 — *replan*: drop every cached plan (the failing plan may be
+        a similar-size share or a survivor from before a reserve change)
+        and replan this size from current estimator state.
+        Rung 1 — *widen-reserve*: grow the fragmentation reserve by
+        ``headroom_step`` (the same reaction :meth:`observe` applies to a
+        fatal OOM) and replan under the tighter usable budget.
+        Rung 2 — *full-checkpoint*: give up on estimation and fall back to
+        the Sublinear-like floor, checkpointing every checkpointable unit.
+        Beyond rung 2 there is nothing left to concede: return ``None``.
+        """
+        start = time.perf_counter()
+        self.recovery_attempts += 1
+        if attempt >= 3:
+            return None
+        if attempt == 2 or not self.estimator.is_fitted:
+            # Last rung (or nothing to replan from): the memory floor.
+            plan = CheckpointPlan(
+                frozenset(self._order), "mimose-recover-full"
+            )
+            return PlanDecision(
+                plan,
+                planning_time=time.perf_counter() - start,
+                recovery_mode="full-checkpoint",
+            )
+        if attempt == 0:
+            mode = "replan"
+        else:
+            self.headroom_bytes += self.headroom_step
+            mode = "widen-reserve"
+        self.cache.clear()
+        plan = self._make_plan(batch.input_size)
+        self.cache.put(batch.input_size, plan)
+        self.plan_count += 1
+        return PlanDecision(
+            plan,
+            planning_time=time.perf_counter() - start,
+            recovery_mode=mode,
+        )
 
     # ------------------------------------------------------------ recollect
 

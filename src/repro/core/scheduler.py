@@ -107,9 +107,18 @@ class GreedyScheduler(Scheduler):
                 bucket = min(
                     candidates, key=lambda b: max(inp.est_bytes[u] for u in b)
                 )
+                # "Nearest above": only members that cover the excess alone
+                # qualify — the earliest-timestamp member of the bucket may
+                # be up to bucket_tolerance smaller than the excess, and
+                # picking it would force one extra (over-dropping) pick.
+                unit = min(
+                    (u for u in bucket if inp.est_bytes[u] >= excess),
+                    key=lambda u: inp.order[u],
+                )
+                bucket.remove(unit)
             else:
                 bucket = buckets[0]  # largest activations first
-            unit = bucket.pop(0)  # earliest timestamp inside the bucket
+                unit = bucket.pop(0)  # earliest timestamp inside the bucket
             if not bucket:
                 buckets.remove(bucket)
             chosen.append(unit)

@@ -29,8 +29,8 @@ Modelling notes (documented deviations from a real runtime):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.planners.base import (
 )
 from repro.tensorsim.allocator import Block, CachingAllocator, OutOfMemoryError
 from repro.tensorsim.clock import SimClock
+from repro.tensorsim.faults import FaultInjector, FaultPlan
 from repro.tensorsim.device import DeviceModel
 from repro.tensorsim.tensor import SimTensor
 from repro.tensorsim.tensor import TensorSpec
@@ -112,6 +113,12 @@ class TrainingExecutor:
             jitter from allocator races and timer resolution; the paper's
             estimator must be robust to it.
         noise_seed: seed for the measurement-noise stream.
+        faults: optional fault-injection plan (or a prebuilt injector):
+            fragmentation spikes, transient allocation failures, and
+            measurement misprediction noise, all deterministic per seed.
+        max_recovery_retries: retry budget per iteration when the planner
+            supports recovery (see :meth:`step`); 0 disables recovery and
+            restores the seed behaviour where any OOM is fatal.
     """
 
     def __init__(
@@ -126,6 +133,8 @@ class TrainingExecutor:
         raise_on_oom: bool = False,
         measurement_noise: float = 0.0,
         noise_seed: int = 0,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        max_recovery_retries: int = 3,
     ) -> None:
         self.model = model
         self.planner = planner
@@ -140,6 +149,12 @@ class TrainingExecutor:
         self.measurement_noise = measurement_noise
         self._noise_rng = (
             np.random.default_rng(noise_seed) if measurement_noise else None
+        )
+        if max_recovery_retries < 0:
+            raise ValueError("max_recovery_retries must be non-negative")
+        self.max_recovery_retries = max_recovery_retries
+        self.faults: Optional[FaultInjector] = (
+            faults.build() if isinstance(faults, FaultPlan) else faults
         )
         self._iteration = 0
         self._time_cache: dict[tuple[str, TensorSpec], tuple[float, float]] = {}
@@ -211,10 +226,49 @@ class TrainingExecutor:
     # ------------------------------------------------------------- execution
 
     def step(self, batch: BatchInput) -> IterationStats:
-        """Plan and execute one training iteration."""
+        """Plan and execute one training iteration.
+
+        If the iteration OOMs and the planner supports recovery, the
+        iteration is rolled back and retried under decisions from the
+        planner's escalation ladder (:meth:`Planner.recover`), up to
+        ``max_recovery_retries`` times.  The failed attempts' wall-clock
+        is charged to the surviving attempt's planning time, and the
+        retry count / escalation rung are recorded in its stats.
+        """
         decision = self.planner.plan(batch)
         stats = self.run_iteration(batch, decision)
+        if (
+            stats.oom
+            and self.planner.supports_recovery
+            and self.max_recovery_retries > 0
+        ):
+            stats = self._recover(batch, stats)
         self.planner.observe(stats)
+        return stats
+
+    def _recover(self, batch: BatchInput, failed: IterationStats) -> IterationStats:
+        """Retry a failed iteration under the planner's escalation ladder."""
+        stats = failed
+        wasted = 0.0  # simulated time burnt on attempts that OOM'd
+        retries = 0
+        mode = ""
+        while stats.oom and retries < self.max_recovery_retries:
+            decision = self.planner.recover(batch, stats, retries)
+            if decision is None:
+                break
+            wasted += stats.total_time
+            retries += 1
+            mode = decision.recovery_mode or "retry"
+            # The retry *replaces* the failed attempt: same iteration number.
+            self._iteration -= 1
+            stats = self.run_iteration(batch, decision)
+        if retries:
+            stats = replace(
+                stats,
+                retries=retries,
+                recovery_mode=mode,
+                planning_time=stats.planning_time + wasted,
+            )
         return stats
 
     def run_iteration(self, batch: BatchInput, decision: PlanDecision) -> IterationStats:
@@ -253,7 +307,14 @@ class TrainingExecutor:
         num_ckpt = 0
         seg_of, seg_first, seg_last = self._segment_info(decision)
         seg_runtimes: dict[int, list[_UnitRuntime]] = {}
+        fault_block: Optional[Block] = None
         try:
+            if self.faults is not None:
+                self.faults.begin_iteration(iteration)
+                phantom = self.faults.phantom_bytes()
+                if phantom > 0:
+                    # fragmentation spike: memory that exists but is not ours
+                    fault_block = alloc.malloc(phantom, owner="fault:frag")
             input_tensor = SimTensor(batch.spec, "input")
             self._alloc_tensor(input_tensor)
             # ------------------------------------------------------- forward
@@ -290,6 +351,8 @@ class TrainingExecutor:
                         )
                         saved = max(0, int(saved * max(jitter[0], 0.0)))
                         meas_t = fwd_t * max(jitter[1], 0.0)
+                    if self.faults is not None:
+                        saved = self.faults.perturb_measurement(saved)
                     measurements.append(
                         UnitMeasurement(unit.name, batch.input_size, saved, meas_t)
                     )
@@ -397,6 +460,8 @@ class TrainingExecutor:
                 input_tensor.drop(alloc)
             oom = True
 
+        if fault_block is not None:
+            alloc.free(fault_block)
         comp["planning"] += self._eviction_search_time
         stats = IterationStats(
             iteration=iteration,
@@ -421,6 +486,7 @@ class TrainingExecutor:
             measurements=tuple(measurements),
             swap_stall_time=comp["swap_stall"],
             num_swapped=num_swapped,
+            predicted_peak_bytes=decision.plan.predicted_peak_bytes,
         )
         if oom and self.raise_on_oom:
             raise IterationOOM(stats)
@@ -596,9 +662,22 @@ class TrainingExecutor:
     # ---------------------------------------------------------- allocation
 
     def _alloc_tensor(self, tensor: SimTensor) -> None:
+        injected = self.faults is not None and self.faults.should_fail(
+            tensor.nbytes
+        )
         if not self._reactive:
+            if injected:
+                raise OutOfMemoryError(
+                    tensor.nbytes,
+                    self.allocator.bytes_free_cached,
+                    self.allocator.largest_free_block(),
+                )
             tensor.materialize(self.allocator)
             return
+        if injected:
+            # Reactive planners react to a failed cudaMalloc by evicting;
+            # give them the same chance against an injected failure.
+            self._evict_one(tensor.nbytes)
         # Reactive path: enforce the logical budget first, then let the
         # planner evict on genuine (fragmentation) failures too.
         budget = self.planner.budget_bytes

@@ -54,6 +54,19 @@ class IterationStats:
     # --- swapping (hybrid planners only) ---
     swap_stall_time: float = 0.0  # backward stalls waiting for PCIe swap-in
     num_swapped: int = 0
+    # --- OOM recovery ---
+    #: number of retry attempts executed after an OOM (0 = first try ok)
+    retries: int = 0
+    #: escalation rung that produced the final attempt ("" = no recovery)
+    recovery_mode: str = ""
+    #: the issuing plan's predicted peak (None when the planner made no
+    #: prediction, e.g. static plans or sheltered COLLECT iterations)
+    predicted_peak_bytes: int | None = None
+
+    @property
+    def recovered(self) -> bool:
+        """Whether this iteration survived only via the recovery ladder."""
+        return self.retries > 0 and not self.oom
 
     @property
     def total_time(self) -> float:
@@ -114,8 +127,30 @@ class RunResult:
 
     @property
     def succeeded(self) -> bool:
-        """A run 'trains successfully' iff no iteration hit a fatal OOM."""
+        """A run 'trains successfully' iff no iteration hit a fatal OOM.
+
+        An iteration rescued by the recovery ladder reports ``oom=False``
+        (only the final attempt counts), so recovered runs still succeed.
+        """
         return self.num_iterations > 0 and self.oom_count == 0
+
+    @property
+    def total_retries(self) -> int:
+        """Retry attempts summed over the run (recovery ladder activity)."""
+        return sum(s.retries for s in self.iterations)
+
+    @property
+    def recovered_count(self) -> int:
+        """Iterations that OOM'd at least once but completed after retries."""
+        return sum(1 for s in self.iterations if s.recovered)
+
+    def recovery_modes(self) -> dict[str, int]:
+        """Histogram of the escalation rungs that rescued iterations."""
+        modes: dict[str, int] = {}
+        for s in self.iterations:
+            if s.recovered:
+                modes[s.recovery_mode] = modes.get(s.recovery_mode, 0) + 1
+        return modes
 
     def mean_iteration_time(self) -> float:
         if not self.iterations:
@@ -165,6 +200,8 @@ def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
                 "peak_reserved_gb": r.peak_reserved / 1024**3,
                 "overhead_frac": r.overhead_fraction(),
                 "succeeded": r.succeeded,
+                "retries": r.total_retries,
+                "recovered": r.recovered_count,
             }
         )
     return rows

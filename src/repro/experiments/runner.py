@@ -17,6 +17,7 @@ from repro.planners.monet import MonetPlanner
 from repro.planners.none import NoCheckpointPlanner
 from repro.planners.sublinear import SublinearPlanner
 from repro.tensorsim.device import DeviceModel, V100
+from repro.tensorsim.faults import FaultInjector, FaultPlan
 
 PLANNER_NAMES = (
     "baseline", "sublinear", "checkmate", "monet", "dtr", "capuchin", "mimose"
@@ -62,6 +63,8 @@ def run_task(
     device: Optional[DeviceModel] = None,
     timeline: Optional[MemoryTimeline] = None,
     max_iterations: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -69,6 +72,11 @@ def run_task(
     planners that promise to respect the budget get exactly the budget;
     reactive/static-overshooting ones get physical device memory so their
     overshoot is observable (Fig 5 / Fig 10 annotations).
+
+    ``faults`` injects deterministic memory pressure (see
+    :mod:`repro.tensorsim.faults`); each run builds its own injector so
+    sweeps stay independent.  ``max_retries`` bounds the OOM recovery
+    ladder for planners that support it (Mimose).
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
@@ -86,6 +94,8 @@ def run_task(
         capacity_bytes=capacity,
         coalescing=planner.allocator_coalescing,
         timeline=timeline,
+        faults=FaultInjector(faults) if faults is not None else None,
+        max_recovery_retries=max_retries,
     )
     result = RunResult(task.spec.abbr, planner_name, budget_bytes)
     for i, batch in enumerate(task.loader):
@@ -102,8 +112,14 @@ def sweep(
     *,
     device: Optional[DeviceModel] = None,
     max_iterations: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> list[RunResult]:
-    """Grid of runs; the baseline (budget-independent) runs once."""
+    """Grid of runs; the baseline (budget-independent) runs once.
+
+    Faults are injected into every non-baseline run; the baseline stays
+    fault-free so it remains a clean normalisation reference.
+    """
     results: list[RunResult] = []
     budgets = list(budgets)
     for name in planner_names:
@@ -116,6 +132,7 @@ def sweep(
         for budget in budgets:
             results.append(
                 run_task(task, name, budget, device=device,
-                         max_iterations=max_iterations)
+                         max_iterations=max_iterations,
+                         faults=faults, max_retries=max_retries)
             )
     return results

@@ -44,12 +44,20 @@ class CheckpointPlan:
     working set during the segment's backward window.
 
     A unit may appear in at most one of the three structures.
+
+    ``predicted_peak_bytes`` is the peak memory the issuing planner
+    predicted for this plan (None when the planner made no prediction).
+    It travels *with* the plan — through the plan cache and into the
+    iteration stats — so post-hoc residual tracking always compares an
+    observation against the prediction that actually produced the plan,
+    including on cache-served iterations.
     """
 
     checkpoint_units: frozenset[str] = frozenset()
     label: str = ""
     swap_units: frozenset[str] = frozenset()
     segments: tuple[tuple[str, ...], ...] = ()
+    predicted_peak_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         overlap = self.checkpoint_units & self.swap_units
@@ -106,11 +114,16 @@ class PlanDecision:
     on the real system) producing this decision; the executor charges it to
     the iteration, which is how planner overhead shows up in Fig 5 and
     Table III.
+
+    ``recovery_mode`` is non-empty only for decisions produced by
+    :meth:`Planner.recover` and names the escalation rung taken
+    (e.g. ``"replan"``, ``"widen-reserve"``, ``"full-checkpoint"``).
     """
 
     plan: CheckpointPlan
     mode: ExecutionMode = ExecutionMode.NORMAL
     planning_time: float = 0.0
+    recovery_mode: str = ""
 
 
 class ModelView:
@@ -172,6 +185,10 @@ class Planner:
     #: One-off offline solve time in seconds (reported, never charged to
     #: iterations) — hours for the MILP planners, ~0 otherwise.
     solve_time_s: float = 0.0
+    #: Whether :meth:`recover` can produce retry decisions after an OOM
+    #: iteration.  When False the executor treats an OOM as final, exactly
+    #: as before the recovery subsystem existed.
+    supports_recovery: bool = False
 
     def __init__(self, budget_bytes: int) -> None:
         if budget_bytes <= 0:
@@ -190,6 +207,20 @@ class Planner:
 
     def observe(self, stats: "IterationStats") -> None:  # noqa: B027
         """Called after each iteration with the measured stats."""
+
+    # -------------------------------------------------------------- recovery
+
+    def recover(
+        self, batch: BatchInput, failed: "IterationStats", attempt: int
+    ) -> Optional[PlanDecision]:
+        """Propose a retry decision after an OOM iteration.
+
+        Called by the executor with the failed attempt's stats and a
+        0-based attempt counter; returning ``None`` gives up (the OOM
+        becomes final).  Only consulted when :attr:`supports_recovery`
+        is True.
+        """
+        return None
 
     # -------------------------------------------------------------- reactive
 

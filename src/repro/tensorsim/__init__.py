@@ -23,6 +23,13 @@ from repro.tensorsim.allocator import (
     OutOfMemoryError,
 )
 from repro.tensorsim.device import DeviceModel, DevicePreset, V100
+from repro.tensorsim.faults import (
+    FaultInjector,
+    FaultPlan,
+    FragmentationSpike,
+    MispredictionNoise,
+    TransientAllocFailures,
+)
 
 __all__ = [
     "SimClock",
@@ -40,4 +47,9 @@ __all__ = [
     "DeviceModel",
     "DevicePreset",
     "V100",
+    "FaultInjector",
+    "FaultPlan",
+    "FragmentationSpike",
+    "MispredictionNoise",
+    "TransientAllocFailures",
 ]

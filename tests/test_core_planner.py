@@ -185,3 +185,80 @@ def test_cache_tolerance_actually_changes_behavior():
             ex.step(BatchInput((rows, 512), FLOAT32))
         counts[tol] = planner.plan_count
     assert counts[0.0] > counts[0.05]
+
+
+# -------------------------------------------------- residual feedback (§IV-E)
+
+def test_cache_hits_still_feed_the_residual_tracker():
+    """Regression: predictions used to be stored in a per-size dict that
+    plan() only wrote on cache *misses*, so every cache-served iteration
+    starved the adaptive-margin feedback loop.  The prediction now rides
+    on the plan itself, so hits observe too."""
+    model = make_tiny_model(num_units=6, features=512)
+    static = model.static_memory().total
+    budget = static + 40 * MB  # tight: plans predict a positive peak
+    planner = MimosePlanner(
+        budget, collect_iterations=4, headroom_bytes=8 * MB,
+        adaptive_margin=True,
+    )
+    planner.setup(ModelView(model))
+    ex = TrainingExecutor(model, planner, capacity_bytes=budget)
+    for b in batches([512, 1024, 1536, 768]):
+        ex.step(b)
+    ex.step(BatchInput((1400, 512), FLOAT32))  # miss: creates the plan
+    hits_before = planner.cache.hits
+    obs_before = planner.residuals.num_observations
+    for _ in range(3):
+        ex.step(BatchInput((1400, 512), FLOAT32))  # pure cache hits
+    assert planner.cache.hits == hits_before + 3
+    assert planner.residuals.num_observations == obs_before + 3
+
+
+def test_observe_without_prediction_records_nothing():
+    """COLLECT/static iterations carry no prediction; the trackers must
+    not be fed fabricated residuals for them."""
+    _, planner, _ = make_setup(2 * GB, collect=4)
+    from repro.engine.stats import IterationStats
+
+    stats = IterationStats(
+        iteration=1, input_size=1000, input_shape=(1, 1000), mode="normal",
+        plan_label="mimose", num_checkpointed=0, fwd_time=1, bwd_time=1,
+        recompute_time=0, collect_time=0, planning_time=0, upkeep_time=0,
+        optimizer_time=0, peak_in_use=100 * MB, peak_reserved=120 * MB,
+        end_in_use=0, fragmentation_bytes=0, predicted_peak_bytes=None,
+    )
+    planner.observe(stats)
+    assert planner.residuals.num_observations == 0
+    assert planner.frag_observed.num_observations == 0
+
+
+def test_observe_with_zero_prediction_feeds_frag_tracker_only():
+    """A predicted peak of zero is a value, not an absence (the old code's
+    falsy `if predicted:` test conflated the two): allocator slack is
+    still observable, but a relative residual against zero is not."""
+    _, planner, _ = make_setup(2 * GB, collect=4)
+    from repro.engine.stats import IterationStats
+
+    stats = IterationStats(
+        iteration=1, input_size=1000, input_shape=(1, 1000), mode="normal",
+        plan_label="mimose", num_checkpointed=0, fwd_time=1, bwd_time=1,
+        recompute_time=0, collect_time=0, planning_time=0, upkeep_time=0,
+        optimizer_time=0, peak_in_use=100 * MB, peak_reserved=120 * MB,
+        end_in_use=0, fragmentation_bytes=0, predicted_peak_bytes=0,
+    )
+    planner.observe(stats)
+    assert planner.residuals.num_observations == 0
+    assert planner.frag_observed.num_observations == 1
+
+
+def test_refit_discards_stale_predictions_with_the_cache():
+    """_fit() clears the plan cache; since predictions travel with the
+    cached plans, a refit cannot leave a stale prediction behind to be
+    attributed to a later iteration."""
+    _, planner, ex = make_setup(2 * GB, collect=4)
+    for b in batches([64, 128, 256, 192]):
+        ex.step(b)
+    ex.step(BatchInput((300, 512), FLOAT32))
+    assert len(planner.cache) > 0
+    ex.step(BatchInput((2048, 512), FLOAT32))  # triggers recollection+refit
+    assert len(planner.cache) == 0

@@ -48,6 +48,26 @@ def test_nearest_size_above_excess_is_selected():
     assert chosen == frozenset({"mid"})  # not 'big': mid is nearest above
 
 
+def test_nearest_above_not_fooled_by_earlier_smaller_bucket_member():
+    """Regression: inside the tightest covering bucket, the earliest
+    member may be up to bucket_tolerance *smaller* than the excess;
+    picking it would violate "nearest above" and force an extra drop."""
+    s = GreedyScheduler(bucket_tolerance=0.10)
+    est = {"early": 91 * MB, "late": 100 * MB}  # one bucket (within 10 %)
+    order = {"early": 0, "late": 1}
+    chosen = s.schedule(inp(est, 95 * MB, order=order))
+    assert chosen == frozenset({"late"})  # early (91 MB) cannot cover 95 MB
+
+
+def test_nearest_above_still_prefers_earliest_among_covering_members():
+    s = GreedyScheduler(bucket_tolerance=0.10)
+    est = {"a": 100 * MB, "b": 97 * MB, "c": 93 * MB}
+    order = {"a": 2, "b": 0, "c": 1}
+    chosen = s.schedule(inp(est, 95 * MB, order=order))
+    # b and a both cover; b is earlier. c (93 MB) does not qualify.
+    assert chosen == frozenset({"b"})
+
+
 def test_largest_first_when_nothing_covers_alone():
     """Algorithm 1 line 17: fall back to the largest activation."""
     s = GreedyScheduler()
@@ -163,4 +183,37 @@ def test_property_knapsack_coverage(case):
     est, excess = case
     chosen = KnapsackScheduler().schedule(inp(est, excess))
     dropped = sum(est[u] for u in chosen)
+    assert dropped >= min(excess, sum(est.values()))
+
+
+@st.composite
+def tie_heavy_cases(draw):
+    """Many units sharing a handful of sizes: buckets full of exact ties,
+    the regime where bucket ordering and DP backtracking are easiest to
+    get wrong."""
+    sizes = draw(
+        st.lists(st.integers(1, 8), min_size=1, max_size=3, unique=True)
+    )
+    n = draw(st.integers(3, 20))
+    est = {
+        f"u{i}": draw(st.sampled_from(sizes)) * 64 * MB for i in range(n)
+    }
+    total = sum(est.values())
+    excess = draw(st.integers(1, total + 64 * MB))
+    return est, excess
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=tie_heavy_cases())
+@pytest.mark.parametrize(
+    "scheduler", [GreedyScheduler(), KnapsackScheduler()], ids=lambda s: s.name
+)
+def test_property_coverage_on_tie_heavy_inputs(scheduler, case):
+    """Both schedulers: the chosen set covers the excess, or — when even
+    everything falls short — is the whole unit set."""
+    est, excess = case
+    chosen = scheduler.schedule(inp(est, excess))
+    dropped = sum(est[u] for u in chosen)
+    if dropped < excess:
+        assert chosen == frozenset(est)
     assert dropped >= min(excess, sum(est.values()))

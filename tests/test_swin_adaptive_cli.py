@@ -207,3 +207,62 @@ def test_cli_sweep_small(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "sublinear" in out and "budget_gb" in out
+
+
+def test_cli_run_respects_iteration_cap(capsys):
+    """Regression: the planner run ignored --iterations (only the baseline
+    was capped), so normalized_time compared runs of different lengths."""
+    from repro.__main__ import main
+
+    assert main(
+        [
+            "run", "--task", "TC-Bert", "--planner", "mimose",
+            "--budget-gb", "4", "--iterations", "5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    row = next(line for line in out.splitlines() if "mimose" in line)
+    assert "| 5 " in row or "| 5" in row.replace("  ", " ")
+
+
+def test_cli_run_with_faults_reports_recovery(capsys):
+    from repro.__main__ import main
+
+    code = main(
+        [
+            "run", "--task", "TC-Bert", "--planner", "mimose",
+            "--budget-gb", "3", "--iterations", "20",
+            "--faults", "frag:start=15,iters=2,bytes=800M",
+        ]
+    )
+    assert code == 0  # survived via the recovery ladder
+    out = capsys.readouterr().out
+    assert "faults:" in out and "frag 800MB" in out
+    assert "retries" in out and "recovered" in out
+
+
+def test_cli_run_rejects_bad_fault_spec():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit, match="unknown fault kind"):
+        main(
+            [
+                "run", "--task", "TC-Bert", "--planner", "mimose",
+                "--budget-gb", "4", "--iterations", "2",
+                "--faults", "quake:start=1",
+            ]
+        )
+
+
+def test_cli_run_rejects_negative_max_retries(capsys):
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run", "--task", "TC-Bert", "--planner", "mimose",
+                "--budget-gb", "4", "--iterations", "2",
+                "--max-retries", "-1",
+            ]
+        )
+    assert "non-negative" in capsys.readouterr().err
