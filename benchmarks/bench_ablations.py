@@ -4,7 +4,14 @@
 * plan cache on/off and similarity tolerance,
 * number of collector iterations vs estimator error,
 * greedy vs knapsack scheduling (the paper's pluggable interface).
+
+Each ablation's grid points are independent runs, so they execute through
+:func:`repro.experiments.runner.parallel_map` — the workers are
+module-level functions taking one picklable config tuple each, and the
+results are identical to a serial sweep regardless of ``JOBS``.
 """
+
+import os
 
 from repro.core.plan_cache import PlanCache
 from repro.core.planner import MimosePlanner
@@ -12,12 +19,14 @@ from repro.core.scheduler import GreedyScheduler, KnapsackScheduler
 from repro.engine.executor import TrainingExecutor
 from repro.engine.stats import RunResult
 from repro.experiments.report import render_table
+from repro.experiments.runner import parallel_map
 from repro.experiments.tasks import GB, load_task
 from repro.planners.base import ModelView
 
 from conftest import run_once, save_result
 
 BUDGET = 4 * GB
+JOBS = min(4, os.cpu_count() or 1)
 
 
 def run_mimose(task, planner):
@@ -30,22 +39,23 @@ def run_mimose(task, planner):
     return result
 
 
+def _bucket_point(tol):
+    task = load_task("TC-Bert", iterations=80, seed=21)
+    planner = MimosePlanner(BUDGET, scheduler=GreedyScheduler(tol))
+    r = run_mimose(task, planner)
+    return {
+        "bucket_tolerance": tol,
+        "total_time_s": r.total_time,
+        "peak_gb": r.peak_in_use / GB,
+        "ooms": r.oom_count,
+    }
+
+
 def bench_ablation_bucket_tolerance(benchmark, results_dir):
     def sweep():
-        task = load_task("TC-Bert", iterations=80, seed=21)
-        rows = []
-        for tol in (0.0, 0.05, 0.10, 0.25, 0.50):
-            planner = MimosePlanner(BUDGET, scheduler=GreedyScheduler(tol))
-            r = run_mimose(task, planner)
-            rows.append(
-                {
-                    "bucket_tolerance": tol,
-                    "total_time_s": r.total_time,
-                    "peak_gb": r.peak_in_use / GB,
-                    "ooms": r.oom_count,
-                }
-            )
-        return rows
+        return parallel_map(
+            _bucket_point, (0.0, 0.05, 0.10, 0.25, 0.50), jobs=JOBS
+        )
 
     rows = run_once(benchmark, sweep)
     text = render_table(rows, title="Ablation: Algorithm 1 bucket tolerance")
@@ -56,29 +66,37 @@ def bench_ablation_bucket_tolerance(benchmark, results_dir):
     assert max(times) / min(times) < 1.15
 
 
+def _cache_point(point):
+    label, tolerance, max_entries = point
+    task = load_task("TC-Bert", iterations=120, seed=22)
+    cache = (
+        PlanCache(tolerance=tolerance, max_entries=max_entries)
+        if max_entries is not None
+        else PlanCache(tolerance=tolerance)
+    )
+    planner = MimosePlanner(BUDGET, cache=cache)
+    r = run_mimose(task, planner)
+    return {
+        "cache": label,
+        "hit_rate": planner.cache.hit_rate,
+        "plans_generated": planner.plan_count,
+        "planning_ms_total": 1e3 * sum(s.planning_time for s in r.iterations),
+        "ooms": r.oom_count,
+    }
+
+
 def bench_ablation_plan_cache(benchmark, results_dir):
     def sweep():
-        task = load_task("TC-Bert", iterations=120, seed=22)
-        rows = []
-        for label, cache in (
-            ("off", PlanCache(tolerance=0.0, max_entries=1)),
-            ("exact-only", PlanCache(tolerance=0.0)),
-            ("5% (paper)", PlanCache(tolerance=0.05)),
-            ("15%", PlanCache(tolerance=0.15)),
-        ):
-            planner = MimosePlanner(BUDGET, cache=cache)
-            r = run_mimose(task, planner)
-            rows.append(
-                {
-                    "cache": label,
-                    "hit_rate": planner.cache.hit_rate,
-                    "plans_generated": planner.plan_count,
-                    "planning_ms_total": 1e3
-                    * sum(s.planning_time for s in r.iterations),
-                    "ooms": r.oom_count,
-                }
-            )
-        return rows
+        return parallel_map(
+            _cache_point,
+            (
+                ("off", 0.0, 1),
+                ("exact-only", 0.0, None),
+                ("5% (paper)", 0.05, None),
+                ("15%", 0.15, None),
+            ),
+            jobs=JOBS,
+        )
 
     rows = run_once(benchmark, sweep)
     text = render_table(rows, title="Ablation: plan cache tolerance")
@@ -89,26 +107,25 @@ def bench_ablation_plan_cache(benchmark, results_dir):
     assert rows[2]["hit_rate"] > rows[1]["hit_rate"] * 0.99
 
 
+def _collector_point(n):
+    from repro.core.estimator import LightningMemoryEstimator
+    from repro.experiments.tables import _collect_samples
+
+    task = load_task("TC-Bert", iterations=4 * n, seed=23)
+    collector, truth = _collect_samples(task, n)
+    est = LightningMemoryEstimator()
+    est.fit(collector)
+    report = est.evaluate(truth)
+    return {
+        "collector_iterations": n,
+        "error_pct": 100 * report.relative_error,
+        "train_time_ms": 1e3 * report.train_time_s,
+    }
+
+
 def bench_ablation_collector_iterations(benchmark, results_dir):
     def sweep():
-        from repro.experiments.tables import _collect_samples
-        from repro.core.estimator import LightningMemoryEstimator
-
-        rows = []
-        for n in (4, 10, 20, 30):
-            task = load_task("TC-Bert", iterations=4 * n, seed=23)
-            collector, truth = _collect_samples(task, n)
-            est = LightningMemoryEstimator()
-            est.fit(collector)
-            report = est.evaluate(truth)
-            rows.append(
-                {
-                    "collector_iterations": n,
-                    "error_pct": 100 * report.relative_error,
-                    "train_time_ms": 1e3 * report.train_time_s,
-                }
-            )
-        return rows
+        return parallel_map(_collector_point, (4, 10, 20, 30), jobs=JOBS)
 
     rows = run_once(benchmark, sweep)
     text = render_table(
@@ -122,27 +139,26 @@ def bench_ablation_collector_iterations(benchmark, results_dir):
     assert rows[-1]["error_pct"] < 2.0
 
 
+def _scheduler_point(name):
+    sched = GreedyScheduler() if name == "greedy (Alg.1)" else KnapsackScheduler()
+    task = load_task("TC-Bert", iterations=80, seed=24)
+    planner = MimosePlanner(BUDGET, scheduler=sched)
+    r = run_mimose(task, planner)
+    return {
+        "scheduler": name,
+        "total_time_s": r.total_time,
+        "recompute_s": r.time_breakdown()["recompute_time"],
+        "planning_ms": 1e3 * r.time_breakdown()["planning_time"],
+        "peak_gb": r.peak_in_use / GB,
+        "ooms": r.oom_count,
+    }
+
+
 def bench_ablation_scheduler_choice(benchmark, results_dir):
     def sweep():
-        task = load_task("TC-Bert", iterations=80, seed=24)
-        rows = []
-        for name, sched in (
-            ("greedy (Alg.1)", GreedyScheduler()),
-            ("knapsack", KnapsackScheduler()),
-        ):
-            planner = MimosePlanner(BUDGET, scheduler=sched)
-            r = run_mimose(task, planner)
-            rows.append(
-                {
-                    "scheduler": name,
-                    "total_time_s": r.total_time,
-                    "recompute_s": r.time_breakdown()["recompute_time"],
-                    "planning_ms": 1e3 * r.time_breakdown()["planning_time"],
-                    "peak_gb": r.peak_in_use / GB,
-                    "ooms": r.oom_count,
-                }
-            )
-        return rows
+        return parallel_map(
+            _scheduler_point, ("greedy (Alg.1)", "knapsack"), jobs=JOBS
+        )
 
     rows = run_once(benchmark, sweep)
     text = render_table(

@@ -9,6 +9,8 @@ and Sublinear respect the budget while DTR (always) and Checkmate/MONeT
 shapes) exceed it.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.figures import fig10_data
@@ -18,6 +20,9 @@ from conftest import run_once, save_result
 
 NLP_TASKS = ("MC-Roberta", "TR-T5", "QA-Bert", "TC-Bert")
 OD_TASKS = ("OD-R50", "OD-R101")
+# parallel grid workers (results are byte-identical to serial; see
+# docs/performance.md); capped so laptop CI machines are not oversubscribed
+JOBS = min(4, os.cpu_count() or 1)
 
 
 def _render(data):
@@ -76,6 +81,7 @@ def bench_fig10_nlp(benchmark, results_dir, task):
         task,
         planners=("sublinear", "checkmate", "monet", "dtr", "mimose"),
         iterations=120,
+        jobs=JOBS,
     )
     _, text = _render(data)
     save_result(results_dir, f"fig10_{task}", text)
@@ -92,6 +98,7 @@ def bench_fig10_od(benchmark, results_dir, task):
         task,
         planners=("sublinear", "checkmate", "monet", "dtr", "mimose"),
         iterations=100,
+        jobs=JOBS,
     )
     _, text = _render(data)
     save_result(results_dir, f"fig10_{task}", text)

@@ -6,17 +6,22 @@ fragmentation); for small inputs no checkpointing happens at all; similar
 input sizes share cached plans, so the curve steps in small segments.
 """
 
+import os
+
 from repro.experiments.figures import fig11_data
 from repro.experiments.report import render_table
 
 from conftest import run_once, save_result
 
 GB = 1024**3
+JOBS = min(3, os.cpu_count() or 1)
 
 
 def bench_fig11_memory_consumption(benchmark, results_dir):
     budgets = (3.5, 4.5, 5.5)
-    data = run_once(benchmark, fig11_data, budgets_gb=budgets, iterations=120)
+    data = run_once(
+        benchmark, fig11_data, budgets_gb=budgets, iterations=120, jobs=JOBS
+    )
     rows = []
     for budget_gb, iters in data.items():
         responsive = [r for r in iters if r["mode"] == "normal"]

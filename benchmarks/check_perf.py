@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON export against the committed baseline.
+
+Usage::
+
+    python -m pytest benchmarks/bench_micro_latency.py benchmarks/bench_fastpath.py \
+        --benchmark-json=bench_out.json
+    python benchmarks/check_perf.py bench_out.json
+
+The baseline (``benchmarks/perf_baseline.json``) records reference mean
+wall-clock seconds per benchmark.  A benchmark fails the check when its
+mean exceeds ``baseline * tolerance``.  The tolerance is deliberately
+loose (CI machines vary a lot); the *exact* guards — replay >= 2x with
+bit-identical digests, serial == parallel — are asserted inside
+``bench_fastpath.py`` itself, so this script only has to catch gross
+wall-clock regressions.
+
+Benchmarks missing from the baseline are reported but do not fail (add
+them to the baseline when introducing them); baseline entries missing
+from the results fail, so the perf suite cannot silently shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "perf_baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=pathlib.Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="fail when mean exceeds baseline * tolerance (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-slack", type=float, default=1e-3,
+        help=(
+            "absolute seconds always allowed on top of the baseline, so "
+            "microsecond-scale benchmarks are not failed by timer noise"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["benchmarks"]
+    results = json.loads(args.results.read_text())
+    measured = {
+        b["name"]: b["stats"]["mean"] for b in results["benchmarks"]
+    }
+
+    failures: list[str] = []
+    for name, mean in sorted(measured.items()):
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"NEW      {name}: {mean:.4f}s (not in baseline)")
+            continue
+        limit = max(ref * args.tolerance, ref + args.min_slack)
+        status = "OK" if mean <= limit else "REGRESSED"
+        print(f"{status:<8} {name}: {mean:.4f}s (baseline {ref:.4f}s, "
+              f"limit {limit:.4f}s)")
+        if mean > limit:
+            failures.append(name)
+
+    missing = sorted(set(baseline) - set(measured))
+    for name in missing:
+        print(f"MISSING  {name}: in baseline but not measured")
+        failures.append(name)
+
+    if failures:
+        print(f"\nperf check FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "oom_iterations": result.oom_count,
             "retries": result.total_retries,
             "recovered": result.recovered_count,
+            "plan_cache": f"{result.plan_cache_hit_rate:.0%}",
+            "replay": f"{result.replay_hit_rate:.0%}",
         }
     ]
     title = f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)"
@@ -143,7 +145,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     planners = args.planners.split(",") if args.planners else list(PLANNER_NAMES)
     faults = _parse_faults(args)
     results = sweep(
-        task, planners, budgets, faults=faults, max_retries=args.max_retries
+        task,
+        planners,
+        budgets,
+        faults=faults,
+        max_retries=args.max_retries,
+        jobs=args.jobs,
     )
     baseline = next(r for r in results if r.planner_name == "baseline")
     rows = []
@@ -211,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--points", type=int, default=4)
     sweep_p.add_argument("--iterations", type=int, default=60)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the grid (results are byte-identical "
+            "to --jobs 1, in the same order)"
+        ),
+    )
     _add_fault_options(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 

@@ -15,10 +15,59 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Optional
+
+import numpy as np
 
 from repro.core.collector import ShuttlingCollector
 from repro.core.estimators import PolynomialRegressor, Regressor
+
+
+@dataclass(frozen=True, slots=True)
+class _StackedPolynomials:
+    """All per-unit polynomial models stacked into one coefficient matrix.
+
+    ``predict_all_bytes``/``predict_all_times`` are on the planner's
+    critical path (every plan-cache miss evaluates every unit), so instead
+    of one ``np.polyval`` call per unit the coefficients are stacked at
+    fit time — highest power first, padded with *leading* zeros to a
+    common width — and one vectorised Horner pass evaluates every unit at
+    once.  Leading-zero padding is exact: the extra Horner steps compute
+    ``0 * x + 0`` and ``0 * x + c`` in IEEE double, so the stacked result
+    is bitwise identical to per-unit ``np.polyval``.
+    """
+
+    names: tuple[str, ...]
+    coeffs: np.ndarray  # (units, width), highest power first
+    scales: np.ndarray  # (units,) per-unit input normalisation
+
+    @classmethod
+    def build(
+        cls, models: Mapping[str, Regressor]
+    ) -> "Optional[_StackedPolynomials]":
+        """Stack ``models`` if they are all fitted polynomials, else None."""
+        if not models or not all(
+            isinstance(m, PolynomialRegressor) for m in models.values()
+        ):
+            return None
+        names = tuple(models)
+        coeff_list = [models[n].coefficients for n in names]  # type: ignore[attr-defined]
+        width = max(c.size for c in coeff_list)
+        mat = np.zeros((len(names), width))
+        for i, c in enumerate(coeff_list):
+            mat[i, width - c.size :] = c
+        scales = np.array(
+            [models[n].scale for n in names]  # type: ignore[attr-defined]
+        )
+        return cls(names=names, coeffs=mat, scales=scales)
+
+    def evaluate(self, input_size: float) -> np.ndarray:
+        """Every unit's polynomial at ``input_size`` (one Horner pass)."""
+        xs = input_size / self.scales
+        acc = self.coeffs[:, 0].copy()
+        for j in range(1, self.coeffs.shape[1]):
+            acc = acc * xs + self.coeffs[:, j]
+        return acc
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +100,12 @@ class LightningMemoryEstimator:
         self._base_model: Regressor | None = None
         self._last_fit_time = 0.0
         self._max_trained_size = 0
+        # Vectorised fast path (polynomial regressors only) + per-size
+        # memoisation; both rebuilt/cleared on every fit.
+        self._mem_stack: Optional[_StackedPolynomials] = None
+        self._time_stack: Optional[_StackedPolynomials] = None
+        self._bytes_cache: dict[int, dict[str, int]] = {}
+        self._times_cache: dict[int, dict[str, float]] = {}
 
     # ------------------------------------------------------------------- fit
 
@@ -70,11 +125,15 @@ class LightningMemoryEstimator:
             mem_models[unit] = self._factory().fit(sizes, bytes_)
             time_models[unit] = self._factory().fit(sizes, times)
             max_size = max(max_size, max(sizes))
+        self._mem_stack = _StackedPolynomials.build(mem_models)
+        self._time_stack = _StackedPolynomials.build(time_models)
         elapsed = time.perf_counter() - start
         self._mem_models = mem_models
         self._time_models = time_models
         self._last_fit_time = elapsed
         self._max_trained_size = max_size
+        self._bytes_cache.clear()
+        self._times_cache.clear()
         return elapsed
 
     def fit_base(self, sizes: list[int], peak_bytes: list[int]) -> None:
@@ -127,12 +186,59 @@ class LightningMemoryEstimator:
             raise KeyError(f"no time model for unit {unit_name!r}")
         return max(0.0, float(model.predict(input_size)))
 
+    _PREDICT_CACHE_LIMIT = 4096
+
     def predict_all_bytes(self, input_size: int) -> dict[str, int]:
-        """Per-unit predicted activation bytes for one input size."""
-        return {
-            name: max(0, int(model.predict(input_size)))
-            for name, model in self._mem_models.items()
-        }
+        """Per-unit predicted activation bytes for one input size.
+
+        Vectorised (one Horner pass over the stacked coefficient matrix)
+        when every unit model is polynomial, and memoised per integer
+        input size; results are identical to calling
+        :meth:`predict_bytes` per unit.  Returns a fresh dict each call.
+        """
+        key = int(input_size)
+        cached = self._bytes_cache.get(key)
+        if cached is None:
+            if self._mem_stack is not None:
+                values = self._mem_stack.evaluate(key)
+                cached = {
+                    name: max(0, int(v))
+                    for name, v in zip(self._mem_stack.names, values)
+                }
+            else:
+                cached = {
+                    name: max(0, int(model.predict(key)))
+                    for name, model in self._mem_models.items()
+                }
+            if len(self._bytes_cache) >= self._PREDICT_CACHE_LIMIT:
+                self._bytes_cache.clear()
+            self._bytes_cache[key] = cached
+        return dict(cached)
+
+    def predict_all_times(self, input_size: int) -> dict[str, float]:
+        """Per-unit predicted forward seconds for one input size.
+
+        Same vectorisation/memoisation contract as
+        :meth:`predict_all_bytes`.
+        """
+        key = int(input_size)
+        cached = self._times_cache.get(key)
+        if cached is None:
+            if self._time_stack is not None:
+                values = self._time_stack.evaluate(key)
+                cached = {
+                    name: max(0.0, float(v))
+                    for name, v in zip(self._time_stack.names, values)
+                }
+            else:
+                cached = {
+                    name: max(0.0, float(model.predict(key)))
+                    for name, model in self._time_models.items()
+                }
+            if len(self._times_cache) >= self._PREDICT_CACHE_LIMIT:
+                self._times_cache.clear()
+            self._times_cache[key] = cached
+        return dict(cached)
 
     def total_bytes(self, input_size: int) -> int:
         return sum(self.predict_all_bytes(input_size).values())

@@ -92,6 +92,11 @@ class PolynomialRegressor(Regressor):
             raise NotFittedError(f"{self.name} has not been fitted")
         return self._coeffs.copy()
 
+    @property
+    def scale(self) -> float:
+        """Input normalisation divisor chosen at fit time."""
+        return self._scale
+
 
 class SupportVectorRegressor(Regressor):
     """RBF kernel ridge regressor (SVR-family stand-in).

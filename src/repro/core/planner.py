@@ -211,9 +211,7 @@ class MimosePlanner(Planner):
             return CheckpointPlan(
                 frozenset(), "mimose", predicted_peak_bytes=total
             )
-        est_time = {
-            u: self.estimator.predict_time(u, size) for u in est
-        }
+        est_time = self.estimator.predict_all_times(size)
         chosen = self.scheduler.schedule(
             SchedulerInput(
                 est_bytes=est,
@@ -287,6 +285,11 @@ class MimosePlanner(Planner):
             return None
         if attempt == 2 or not self.estimator.is_fitted:
             # Last rung (or nothing to replan from): the memory floor.
+            # The cache still holds the plan the previous rung produced —
+            # which just OOM'd — so it must be dropped here too, or the
+            # next iteration of this size would be served the failed plan
+            # straight from the cache and re-OOM.
+            self.cache.clear()
             plan = CheckpointPlan(
                 frozenset(self._order), "mimose-recover-full"
             )

@@ -34,6 +34,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.replay import ReplayCache, ReplayRecord
 from repro.engine.stats import IterationStats, UnitMeasurement
 from repro.engine.trace import MemoryTimeline
 from repro.graph.module import ModuleProfile
@@ -119,6 +120,12 @@ class TrainingExecutor:
         max_recovery_retries: retry budget per iteration when the planner
             supports recovery (see :meth:`step`); 0 disables recovery and
             restores the seed behaviour where any OOM is fatal.
+        replay: enable the iteration replay cache (see
+            :mod:`repro.engine.replay`): iterations whose world is provably
+            identical to a recorded one are served from memory instead of
+            re-simulated, with bit-identical stats and timeline (only the
+            genuinely-measured ``planning_time`` differs).  REACTIVE,
+            fault-window and recovery iterations always run in full.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class TrainingExecutor:
         noise_seed: int = 0,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         max_recovery_retries: int = 3,
+        replay: bool = True,
     ) -> None:
         self.model = model
         self.planner = planner
@@ -156,6 +164,7 @@ class TrainingExecutor:
         self.faults: Optional[FaultInjector] = (
             faults.build() if isinstance(faults, FaultPlan) else faults
         )
+        self.replay: Optional[ReplayCache] = ReplayCache() if replay else None
         self._iteration = 0
         self._time_cache: dict[tuple[str, TensorSpec], tuple[float, float]] = {}
         self._static_blocks = self._allocate_static()
@@ -272,9 +281,87 @@ class TrainingExecutor:
         return stats
 
     def run_iteration(self, batch: BatchInput, decision: PlanDecision) -> IterationStats:
-        """Execute one iteration under an explicit plan decision."""
+        """Execute one iteration under an explicit plan decision.
+
+        Fast path: when the replay cache holds a record proving this
+        iteration's world (mode, plan, batch shape, allocator state) is
+        identical to one already simulated, the recorded stats and
+        timeline are replayed without touching the allocator.  Otherwise
+        the iteration is simulated in full at tensor granularity, and —
+        if it succeeds and leaves the allocator exactly as it found it —
+        recorded for future replay.
+        """
         self._iteration += 1
         iteration = self._iteration
+        if self.faults is not None:
+            self.faults.begin_iteration(iteration)
+        replay_key = self._replay_key(batch, decision)
+        if replay_key is not None:
+            record = self.replay.lookup(replay_key)
+            if record is not None:
+                return self._replay_iteration(iteration, decision, record)
+        return self._simulate_iteration(batch, decision, iteration, replay_key)
+
+    # ------------------------------------------------------------ replay path
+
+    def invalidate_replay(self) -> None:
+        """Drop all replay records (external world change, e.g. planner
+        margin/reserve reconfiguration between iterations)."""
+        if self.replay is not None:
+            self.replay.invalidate()
+
+    def _replay_key(self, batch: BatchInput, decision: PlanDecision) -> Optional[tuple]:
+        """The replay fingerprint for this iteration, or None if it must
+        be simulated in full (see :mod:`repro.engine.replay`)."""
+        cache = self.replay
+        if cache is None:
+            return None
+        if decision.mode is ExecutionMode.REACTIVE:
+            # history-dependent eviction decisions: never replayable
+            cache.bypasses += 1
+            return None
+        if decision.recovery_mode:
+            # the escalation ladder changes planner reserves; records made
+            # under the old margins must not survive it
+            cache.bypasses += 1
+            cache.invalidate()
+            return None
+        if self.faults is not None and not self.faults.quiet():
+            # a fault perturbs the world for this iteration and possibly
+            # the allocator layout beyond it
+            cache.bypasses += 1
+            cache.invalidate()
+            return None
+        if decision.mode is ExecutionMode.COLLECT and self._noise_rng is not None:
+            # the measurement-noise stream is stateful and must advance
+            cache.bypasses += 1
+            return None
+        return ReplayCache.key(
+            decision,
+            batch,
+            self.allocator.state_signature(),
+            timeline_active=self.timeline is not None and self.timeline.enabled,
+        )
+
+    def _replay_iteration(
+        self, iteration: int, decision: PlanDecision, record: ReplayRecord
+    ) -> IterationStats:
+        """Serve one iteration from its replay record (allocator untouched)."""
+        self.clock.advance(decision.planning_time)
+        if self.timeline is not None:
+            self.timeline.record_relative(self.clock.now, iteration, record.points)
+        self.clock.advance(record.sim_time)
+        return record.materialize(iteration, decision)
+
+    # -------------------------------------------------------- full simulation
+
+    def _simulate_iteration(
+        self,
+        batch: BatchInput,
+        decision: PlanDecision,
+        iteration: int,
+        replay_key: Optional[tuple],
+    ) -> IterationStats:
         alloc = self.allocator
         alloc.reset_peaks()
         mode = decision.mode
@@ -298,6 +385,8 @@ class TrainingExecutor:
         self._pending_swapouts: list[tuple[float, _UnitRuntime]] = []
         num_swapped = 0
         self.clock.advance(decision.planning_time)
+        sim_start = self.clock.now
+        tl_mark = self.timeline.mark() if self.timeline is not None else 0
         measurements: list[UnitMeasurement] = []
         runtimes: list[_UnitRuntime] = []
         input_tensor: Optional[SimTensor] = None
@@ -310,7 +399,6 @@ class TrainingExecutor:
         fault_block: Optional[Block] = None
         try:
             if self.faults is not None:
-                self.faults.begin_iteration(iteration)
                 phantom = self.faults.phantom_bytes()
                 if phantom > 0:
                     # fragmentation spike: memory that exists but is not ours
@@ -488,8 +576,34 @@ class TrainingExecutor:
             num_swapped=num_swapped,
             predicted_peak_bytes=decision.plan.predicted_peak_bytes,
         )
-        if oom and self.raise_on_oom:
-            raise IterationOOM(stats)
+        if oom:
+            if self.replay is not None:
+                # reserves/margins will move in response; stale records
+                # must not outlive the pressure event
+                self.replay.invalidate()
+            if self.raise_on_oom:
+                raise IterationOOM(stats)
+            return stats
+        if (
+            replay_key is not None
+            and alloc.state_signature() == ReplayCache.signature_of(replay_key)
+        ):
+            # Steady state proven: the iteration left the allocator exactly
+            # as it found it, so replaying it later is indistinguishable
+            # from re-simulating it.
+            points = (
+                self.timeline.relative_since(tl_mark, sim_start)
+                if self.timeline is not None and self.timeline.enabled
+                else ()
+            )
+            self.replay.store(
+                replay_key,
+                ReplayRecord(
+                    stats=replace(stats, planning_time=0.0),
+                    sim_time=self.clock.now - sim_start,
+                    points=points,
+                ),
+            )
         return stats
 
     # --------------------------------------------------------- unit helpers

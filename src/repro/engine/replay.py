@@ -1,0 +1,158 @@
+"""Iteration replay cache — the executor's fast path.
+
+Most iterations of a steady-state training run are *identical worlds*: the
+same plan applied to the same batch shape starting from the same allocator
+state must produce bit-identical results, because the simulation is
+deterministic.  Re-running the tensor-level allocator/clock loop for such
+an iteration only re-derives numbers that are already known.  This module
+memoizes them.
+
+An iteration is replayable only when its world is **provably** identical
+to a recorded one.  The proof is the :class:`ReplayKey`:
+
+* the plan decision's execution mode and full :class:`~repro.planners.base
+  .CheckpointPlan` (checkpoint/swap/segment assignments and label);
+* the exact batch shape and dtype;
+* the allocator's behavioural :meth:`~repro.tensorsim.allocator
+  .CachingAllocator.state_signature` at iteration start (reserved
+  segments, free-block cache in order, accounting totals);
+* whether a memory timeline is being recorded.
+
+A record is stored only for iterations that (a) completed without OOM and
+(b) left the allocator in exactly the state they found it (steady state) —
+so serving the record and skipping execution leaves the world in the same
+state full simulation would have.  On a hit the executor replays the
+recorded :class:`~repro.engine.stats.IterationStats` and (optionally) the
+memory-timeline deltas, advancing the simulated clock by the recorded
+iteration time.
+
+Never replayed, by construction:
+
+* **REACTIVE** iterations — DTR's eviction decisions depend on runtime
+  history (tensor staleness), so two same-shape iterations are not the
+  same world even when the allocator signature matches;
+* iterations inside a **fault window** (fragmentation spike, transient
+  allocation failure, or measurement noise active) — the injector
+  perturbs the world, and the whole cache is invalidated so pre-fault
+  records cannot leak across the perturbation;
+* **recovery** attempts (``PlanDecision.recovery_mode`` set) and any
+  iteration following an OOM — the escalation ladder mutates planner
+  reserves, so the cache is invalidated there too;
+* **COLLECT** iterations while measurement noise is configured — the
+  noise RNG stream is stateful and must be consumed by real execution.
+
+The only stats field that differs between a replayed iteration and a full
+simulation is ``planning_time``: it is genuine wall-clock measured by the
+planner (Table III) and is patched in from the current decision, exactly
+as the full path charges it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.engine.stats import IterationStats
+from repro.models.base import BatchInput
+from repro.planners.base import PlanDecision
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayRecord:
+    """Everything needed to replay one recorded iteration.
+
+    ``stats`` is stored with ``planning_time`` zeroed and a meaningless
+    iteration number; both are patched at replay time.  ``points`` are
+    memory-timeline samples relative to the post-planning clock.
+    """
+
+    stats: IterationStats
+    sim_time: float  # simulated seconds excluding the decision's planning
+    points: tuple[tuple[float, int, int, str], ...] = ()
+
+    def materialize(
+        self, iteration: int, decision: PlanDecision
+    ) -> IterationStats:
+        """The stats this record stands for at a new iteration number."""
+        return replace(
+            self.stats,
+            iteration=iteration,
+            planning_time=decision.planning_time,
+            predicted_peak_bytes=decision.plan.predicted_peak_bytes,
+        )
+
+
+class ReplayCache:
+    """Bounded LRU of :class:`ReplayRecord` keyed by iteration world.
+
+    Args:
+        max_entries: LRU capacity (distinct (plan, shape, allocator-state)
+            worlds worth remembering; steady-state runs need one entry per
+            recurring batch shape).
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._records: OrderedDict[tuple, ReplayRecord] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: eligible iterations skipped because the world was perturbed
+        #: (fault window, recovery attempt, reactive mode)
+        self.bypasses = 0
+        #: number of times the cache was wholesale invalidated
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @staticmethod
+    def key(
+        decision: PlanDecision,
+        batch: BatchInput,
+        allocator_signature: tuple,
+        *,
+        timeline_active: bool,
+    ) -> tuple:
+        """The iteration-world fingerprint (see module docstring)."""
+        return (
+            decision.mode,
+            decision.plan,
+            batch.shape,
+            batch.dtype,
+            allocator_signature,
+            timeline_active,
+        )
+
+    @staticmethod
+    def signature_of(key: tuple) -> tuple:
+        """The allocator signature component of a :meth:`key` tuple."""
+        return key[4]
+
+    def lookup(self, key: tuple) -> Optional[ReplayRecord]:
+        record = self._records.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self._records.move_to_end(key)
+        self.hits += 1
+        return record
+
+    def store(self, key: tuple, record: ReplayRecord) -> None:
+        self._records[key] = record
+        self._records.move_to_end(key)
+        if len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every record (fault fired, OOM seen, reserves changed)."""
+        if self._records:
+            self._records.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -93,12 +93,24 @@ class IterationStats:
 
 @dataclass(slots=True)
 class RunResult:
-    """Aggregation over a full training run (one task × planner × budget)."""
+    """Aggregation over a full training run (one task × planner × budget).
+
+    The ``*_hits``/``*_misses`` counters expose the effectiveness of the
+    two execution caches (the planner's :class:`~repro.core.plan_cache
+    .PlanCache` and the executor's iteration replay cache) so overhead
+    reports can attribute fast-path savings; the runner fills them in
+    after the loop completes.
+    """
 
     task_name: str
     planner_name: str
     budget_bytes: int
     iterations: list[IterationStats] = field(default_factory=list)
+    # --- cache effectiveness (filled in by the runner post-run) ---
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    replay_hits: int = 0
+    replay_misses: int = 0
 
     def append(self, stats: IterationStats) -> None:
         self.iterations.append(stats)
@@ -183,6 +195,42 @@ class RunResult:
             raise ValueError("baseline has no recorded time")
         return self.total_time / baseline.total_time
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def replay_hit_rate(self) -> float:
+        total = self.replay_hits + self.replay_misses
+        return self.replay_hits / total if total else 0.0
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run's observable results.
+
+        Hashes every :class:`IterationStats` field *except*
+        ``planning_time``, which is genuine wall-clock measured by the
+        planner and therefore differs between otherwise identical runs.
+        Two runs with equal digests produced bit-identical simulated
+        behaviour — the equality the replay cache and the parallel sweep
+        runner are required to preserve.
+        """
+        import hashlib
+        from dataclasses import fields as dc_fields
+
+        h = hashlib.sha256()
+        h.update(
+            f"{self.task_name}|{self.planner_name}|{self.budget_bytes}".encode()
+        )
+        names = [
+            f.name
+            for f in dc_fields(IterationStats)
+            if f.name != "planning_time"
+        ]
+        for s in self.iterations:
+            h.update(repr([getattr(s, n) for n in names]).encode())
+        return h.hexdigest()
+
 
 def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
     """Flat summary rows for reporting (one per run)."""
@@ -202,6 +250,8 @@ def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
                 "succeeded": r.succeeded,
                 "retries": r.total_retries,
                 "recovered": r.recovered_count,
+                "plan_cache_hit_rate": r.plan_cache_hit_rate,
+                "replay_hit_rate": r.replay_hit_rate,
             }
         )
     return rows

@@ -53,3 +53,32 @@ class MemoryTimeline:
 
     def clear(self) -> None:
         self.points.clear()
+
+    # ------------------------------------------------------------- replay API
+
+    def mark(self) -> int:
+        """Current point count — pass to :meth:`relative_since` later."""
+        return len(self.points)
+
+    def relative_since(
+        self, mark: int, base_time: float
+    ) -> tuple[tuple[float, int, int, str], ...]:
+        """Points recorded since ``mark`` as deltas from ``base_time``.
+
+        The iteration replay cache stores these so a replayed iteration
+        can re-emit the same samples shifted to the current clock.
+        """
+        return tuple(
+            (p.time - base_time, p.bytes_in_use, p.bytes_reserved, p.phase)
+            for p in self.points[mark:]
+        )
+
+    def record_relative(
+        self,
+        base_time: float,
+        iteration: int,
+        rel_points: tuple[tuple[float, int, int, str], ...],
+    ) -> None:
+        """Append recorded relative points shifted onto ``base_time``."""
+        for dt, in_use, reserved, phase in rel_points:
+            self.record(base_time + dt, in_use, reserved, phase, iteration)

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.experiments.runner import run_task
+from repro.experiments.runner import run_task, sweep
 from repro.experiments.tasks import GB, load_task
 from repro.models.base import BatchInput
 from repro.models.registry import build_model
@@ -195,24 +195,35 @@ def fig10_data(
     planners: tuple[str, ...] = ("sublinear", "checkmate", "monet", "dtr", "mimose"),
     iterations: int = 60,
     seed: int = 0,
+    jobs: int = 1,
 ) -> dict[str, object]:
-    """One Fig 10 panel: normalized times per planner per budget + bounds."""
+    """One Fig 10 panel: normalized times per planner per budget + bounds.
+
+    ``jobs > 1`` runs the (planner, budget) grid in parallel worker
+    processes; the numbers are byte-identical to a serial run.  The
+    baseline is budget-independent (it ignores the budget entirely), so
+    taking it from the sweep's single baseline run is exact.
+    """
     task = load_task(task_abbr, iterations=iterations, seed=seed)
     budgets = budgets or task.default_budgets()
-    baseline = run_task(task, "baseline", budgets[-1])
+    results = sweep(
+        task, ("baseline",) + tuple(planners), budgets, jobs=jobs
+    )
+    baseline = next(r for r in results if r.planner_name == "baseline")
     lb, ub = task.memory_bounds()
     series: dict[str, list[dict[str, object]]] = {}
     for name in planners:
         rows = []
-        for budget in budgets:
-            r = run_task(task, name, budget)
+        for r in results:
+            if r.planner_name != name:
+                continue
             rows.append(
                 {
-                    "budget_gb": budget / GB,
+                    "budget_gb": r.budget_bytes / GB,
                     "normalized_time": r.normalized_time(baseline),
                     "peak_reserved_gb": r.peak_reserved / GB,
                     "oom_iterations": r.oom_count,
-                    "respects_budget": r.peak_reserved <= budget,
+                    "respects_budget": r.peak_reserved <= r.budget_bytes,
                 }
             )
         series[name] = rows
@@ -234,17 +245,21 @@ def fig11_data(
     iterations: int = 120,
     seed: int = 0,
     task_abbr: str = "TC-Bert",
+    jobs: int = 1,
 ) -> dict[float, list[dict[str, object]]]:
     """Per-iteration (input size, peak memory, plan size) under Mimose.
 
     The paper's shape: memory rises with input size until the budget is
     reached, then flattens just below it (a 0.5–1 GB reserve), with small
-    plateaus where similar sizes share cached plans.
+    plateaus where similar sizes share cached plans.  ``jobs > 1`` runs
+    the budgets in parallel worker processes with identical results.
     """
+    task = load_task(task_abbr, iterations=iterations, seed=seed)
+    results = sweep(
+        task, ("mimose",), [int(b * GB) for b in budgets_gb], jobs=jobs
+    )
     out: dict[float, list[dict[str, object]]] = {}
-    for budget_gb in budgets_gb:
-        task = load_task(task_abbr, iterations=iterations, seed=seed)
-        result = run_task(task, "mimose", int(budget_gb * GB))
+    for budget_gb, result in zip(budgets_gb, results):
         rows = []
         for s in result.iterations:
             rows.append(

@@ -1,8 +1,22 @@
-"""Run one (task, planner, budget) combination and sweep grids of them."""
+"""Run one (task, planner, budget) combination and sweep grids of them.
+
+Sweeps can execute their grid points in parallel worker processes
+(``sweep(..., jobs=N)``, surfaced as ``repro sweep --jobs N``).  Every
+grid point is an independent deterministic simulation — the loader
+restarts from its own seed, the model is rebuilt fresh, and the fault
+plan's seed is *derived* from (base seed, task, planner, budget) with the
+same :func:`derive_fault_seed` in both the serial and the parallel path —
+so a parallel sweep returns byte-identical results to a serial one, in
+the same order.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import multiprocessing
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace as _dc_replace
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.core.planner import MimosePlanner
 from repro.engine.executor import TrainingExecutor
@@ -102,7 +116,110 @@ def run_task(
         if max_iterations is not None and i >= max_iterations:
             break
         result.append(executor.step(batch))
+    # Cache-effectiveness observability (Table III / bench_fastpath).
+    plan_cache = getattr(planner, "cache", None)
+    if plan_cache is not None:
+        result.plan_cache_hits = plan_cache.hits
+        result.plan_cache_misses = plan_cache.misses
+    if executor.replay is not None:
+        result.replay_hits = executor.replay.hits
+        result.replay_misses = executor.replay.misses
     return result
+
+
+# --------------------------------------------------------------------- sweeps
+
+
+def derive_fault_seed(
+    base_seed: int, task_name: str, planner_name: str, budget_bytes: int
+) -> int:
+    """Per-grid-point fault seed, stable across processes and runs.
+
+    ``zlib.crc32`` rather than ``hash()`` because the latter is salted by
+    ``PYTHONHASHSEED`` and would break serial/parallel equivalence across
+    interpreter invocations.
+    """
+    tag = f"{base_seed}:{task_name}:{planner_name}:{budget_bytes}"
+    return zlib.crc32(tag.encode("utf-8"))
+
+
+def _point_faults(
+    faults: Optional[FaultPlan],
+    task_name: str,
+    planner_name: str,
+    budget_bytes: int,
+) -> Optional[FaultPlan]:
+    if faults is None:
+        return None
+    return _dc_replace(
+        faults,
+        seed=derive_fault_seed(
+            faults.seed, task_name, planner_name, budget_bytes
+        ),
+    )
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# Per-worker-process state installed by the pool initializer.  The heavy,
+# not-necessarily-picklable objects (TaskContext, DeviceModel) travel to
+# the workers through fork inheritance, not through the call queue.
+_POOL_STATE: dict[str, object] = {}
+
+
+def _pool_init(state: dict[str, object]) -> None:
+    _POOL_STATE.update(state)
+
+
+def _pool_run_point(
+    point: tuple[str, int, Optional[FaultPlan], int],
+) -> RunResult:
+    planner_name, budget, faults, max_retries = point
+    return run_task(
+        _POOL_STATE["task"],  # type: ignore[arg-type]
+        planner_name,
+        budget,
+        device=_POOL_STATE["device"],  # type: ignore[arg-type]
+        max_iterations=_POOL_STATE["max_iterations"],  # type: ignore[arg-type]
+        faults=faults,
+        max_retries=max_retries,
+    )
+
+
+def parallel_map(
+    worker: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    jobs: int,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
+) -> list[_R]:
+    """Order-preserving process-pool map with a serial fallback.
+
+    ``worker`` must be a module-level callable and ``items`` picklable.
+    Falls back to a plain serial map when ``jobs <= 1``, when there is at
+    most one item, or when the platform has no ``fork`` start method (the
+    only start method that lets workers inherit non-picklable state from
+    an initializer).
+    """
+    if jobs <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [worker(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        if initializer is not None:
+            initializer(*initargs)
+        return [worker(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(worker, items))
 
 
 def sweep(
@@ -114,25 +231,42 @@ def sweep(
     max_iterations: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     max_retries: int = 3,
+    jobs: int = 1,
 ) -> list[RunResult]:
     """Grid of runs; the baseline (budget-independent) runs once.
 
-    Faults are injected into every non-baseline run; the baseline stays
-    fault-free so it remains a clean normalisation reference.
+    Faults are injected into every non-baseline run with a per-grid-point
+    seed (see :func:`derive_fault_seed`); the baseline stays fault-free so
+    it remains a clean normalisation reference.
+
+    ``jobs > 1`` executes the grid points in that many worker processes;
+    results are byte-identical to a serial sweep and arrive in the same
+    order (see module docstring).
     """
-    results: list[RunResult] = []
     budgets = list(budgets)
+    points: list[tuple[str, int, Optional[FaultPlan], int]] = []
     for name in planner_names:
         if name == "baseline":
-            results.append(
-                run_task(task, name, budgets[0], device=device,
-                         max_iterations=max_iterations)
-            )
+            points.append((name, budgets[0], None, max_retries))
             continue
         for budget in budgets:
-            results.append(
-                run_task(task, name, budget, device=device,
-                         max_iterations=max_iterations,
-                         faults=faults, max_retries=max_retries)
+            points.append(
+                (
+                    name,
+                    budget,
+                    _point_faults(faults, task.spec.abbr, name, budget),
+                    max_retries,
+                )
             )
-    return results
+    state = {
+        "task": task,
+        "device": device,
+        "max_iterations": max_iterations,
+    }
+    return parallel_map(
+        _pool_run_point,
+        points,
+        jobs=jobs,
+        initializer=_pool_init,
+        initargs=(state,),
+    )

@@ -100,6 +100,11 @@ def table3_rows(
                 ),
                 "total_overhead_ms": 1e3 * overhead,
                 "total_overhead_iters": overhead / mean_iter if mean_iter else 0.0,
+                # Cache effectiveness: how much of the planning column was
+                # absorbed by the plan cache, and how many whole
+                # iterations the executor replayed instead of simulating.
+                "plan_cache_hit_pct": 100.0 * result.plan_cache_hit_rate,
+                "replay_hit_pct": 100.0 * result.replay_hit_rate,
             }
         )
     return rows

@@ -201,6 +201,38 @@ class CachingAllocator:
     def num_segments(self) -> int:
         return len(self._segments)
 
+    def state_signature(self) -> tuple:
+        """Order-sensitive fingerprint of the allocator's behavioural state.
+
+        Two allocators with equal signatures respond identically to any
+        future malloc/free sequence.  The signature is *canonical*: no
+        observable behaviour depends on absolute segment base addresses —
+        allocation is address-ordered best fit (order survives an
+        order-preserving relabelling), coalescing is segment-local, and
+        nothing outside the allocator ever reads an address — so segments
+        are relabelled by base order and free blocks expressed as
+        (segment index, offset, size).  Two states that differ only in
+        where ``_brk`` happened to place their segments therefore compare
+        equal, which is what lets the state re-converge after segment
+        release/re-reserve churn.  Used by the iteration replay cache to
+        prove a steady-state iteration is identical to a recorded one;
+        cost is O(n log n) in the free-block count, negligible next to a
+        simulated iteration.
+        """
+        segments = sorted(self._segments, key=lambda s: s.base)
+        index = {s.base: i for i, s in enumerate(segments)}
+        return (
+            self.stats.bytes_in_use,
+            self.stats.bytes_reserved,
+            tuple(s.size for s in segments),
+            tuple(
+                sorted(
+                    (index[b.segment.base], b.addr - b.segment.base, b.size)
+                    for b in self._free_blocks.values()
+                )
+            ),
+        )
+
     # ----------------------------------------------------------------- alloc
 
     def _segment_size_for(self, size: int) -> int:
@@ -241,12 +273,21 @@ class CachingAllocator:
             return None
 
     def _try_alloc(self, size: int, owner: str) -> Optional[Block]:
+        # Address-ordered best fit: ties on size break toward the lowest
+        # address, so the chosen block depends only on the *set* of free
+        # blocks, never on cache insertion history.  This canonical policy
+        # is what lets two iterations with equal free-block sets behave
+        # identically (the replay cache's steady-state proof).
         best: Optional[Block] = None
         for candidate in self._free_blocks.values():
-            if candidate.size >= size and (best is None or candidate.size < best.size):
+            if candidate.size < size:
+                continue
+            if (
+                best is None
+                or candidate.size < best.size
+                or (candidate.size == best.size and candidate.addr < best.addr)
+            ):
                 best = candidate
-                if best.size == size:
-                    break
         if best is not None:
             return self._carve(best, size, owner)
         # Nothing cached fits: reserve a new segment if capacity allows.

@@ -296,6 +296,20 @@ class FaultInjector:
         """Fragmentation-spike reservation to hold for this iteration."""
         return self._phantom
 
+    def quiet(self) -> bool:
+        """Whether the current iteration attempt is fault-free.
+
+        True means no fragmentation spike, no pending transient failure
+        and no measurement noise are active — the iteration's world is
+        exactly what a fault-free run would see, so the executor's replay
+        cache may serve or record it.
+        """
+        return (
+            self._phantom == 0
+            and self._fail_remaining <= 0
+            and self._noise_rng is None
+        )
+
     def should_fail(self, request_bytes: int) -> bool:
         """Whether this allocation suffers an injected transient failure."""
         if self._fail_remaining <= 0:
