@@ -17,12 +17,11 @@ hold.
 
 import os
 import time
-from dataclasses import asdict
 
 from repro.engine.executor import TrainingExecutor
 from repro.engine.stats import RunResult
 from repro.experiments.report import render_table
-from repro.experiments.runner import make_planner, run_task, sweep
+from repro.experiments.runner import make_planner, sweep
 from repro.experiments.tasks import GB, load_task
 from repro.planners.base import ModelView
 from repro.tensorsim.faults import FaultPlan

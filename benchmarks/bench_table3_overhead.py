@@ -18,7 +18,7 @@ def bench_table3_overhead(benchmark, results_dir):
         rows,
         columns=[
             "task", "budget_gb", "mean_iter_ms", "collector_ms",
-            "collector_iters", "estimator_scheduler_ms_min",
+            "collector_iters", "fit_ms", "estimator_scheduler_ms_min",
             "estimator_scheduler_ms_max", "plans_generated",
             "total_overhead_iters",
         ],
@@ -28,8 +28,16 @@ def bench_table3_overhead(benchmark, results_dir):
     for r in rows:
         # ~10 sheltered iterations, as in the paper
         assert 8 <= r["collector_iters"] <= 20, r
-        # estimator+scheduler stay in the sub-10ms regime per plan
+        # Estimator+scheduler stay in the sub-10ms regime per plan.  Two
+        # exclusions keep this machine-independent (see table3_rows and
+        # docs/performance.md): the one-time estimator fit is reported
+        # separately (fit_ms, ungated — wall-clock proportional to model
+        # size and host speed), and recovered iterations are skipped
+        # (their planning_time carries the simulated cost of the OOM'd
+        # attempts, not planner work).  Both used to leak into the max
+        # and made this bench flake.
         assert r["estimator_scheduler_ms_max"] < 10.0, r
+        assert r["fit_ms"] >= 0.0, r
         # plans are generated far less often than once per iteration
         assert r["plans_generated"] < 150, r
     mean_overhead = sum(r["total_overhead_iters"] for r in rows) / len(rows)

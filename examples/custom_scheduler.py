@@ -24,10 +24,34 @@ from repro.core.scheduler import (
     Scheduler,
     SchedulerInput,
 )
+from repro.engine.events import OomHit, TimeCharged
 from repro.engine.executor import TrainingExecutor
 from repro.experiments.report import render_table
 from repro.experiments.tasks import GB, load_task
 from repro.planners.base import ModelView
+
+
+class SchedulerScorecard:
+    """Event-bus observer: recompute seconds and OOM hits per run.
+
+    Subscribes to the typed event stream instead of re-deriving the
+    numbers from per-iteration stats — the pattern any custom metric
+    should follow (see docs/architecture.md).
+    """
+
+    def __init__(self) -> None:
+        self.recompute_s = 0.0
+        self.oom_hits = 0
+
+    def attach(self, bus) -> "SchedulerScorecard":
+        bus.subscribe(self, TimeCharged, OomHit)
+        return self
+
+    def __call__(self, event) -> None:
+        if isinstance(event, OomHit):
+            self.oom_hits += 1
+        elif event.component == "recompute":
+            self.recompute_s += event.seconds
 
 
 class LatestFirstScheduler(Scheduler):
@@ -68,7 +92,13 @@ def main() -> None:
         model = task.fresh_model()
         planner = MimosePlanner(budget, scheduler=scheduler)
         planner.setup(ModelView(model))
-        executor = TrainingExecutor(model, planner, capacity_bytes=budget)
+        # replay=False: execution events are emitted by *simulated*
+        # iterations only, and this scorecard wants to see every one
+        # (a replayed iteration emits just ReplayHit/IterationEnd).
+        executor = TrainingExecutor(
+            model, planner, capacity_bytes=budget, replay=False
+        )
+        card = SchedulerScorecard().attach(executor.events)
         total = 0.0
         peak = 0
         ooms = 0
@@ -81,9 +111,11 @@ def main() -> None:
             {
                 "scheduler": scheduler.name,
                 "total_time_s": total,
+                "recompute_s": card.recompute_s,
                 "peak_gb": peak / GB,
                 "final_headroom_gb": planner.headroom_bytes / GB,
                 "oom_iterations": ooms,
+                "oom_hits": card.oom_hits,
             }
         )
     print(

@@ -95,10 +95,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Both runs are capped at the same iteration count so normalized_time
     # compares runs of equal length; the baseline stays fault-free as the
     # normalisation reference.
-    baseline = run_task(task, "baseline", budget, max_iterations=args.iterations)
+    counter = None
+    observers: list = []
+    if args.trace:
+        from repro.engine.events import EventCounter
+
+        counter = EventCounter()
+        observers.append(lambda ex: counter.attach(ex.events))
+    is_baseline_run = args.planner == "baseline" and faults is None
+    baseline = run_task(
+        task,
+        "baseline",
+        budget,
+        max_iterations=args.iterations,
+        observers=observers if is_baseline_run else (),
+    )
     result = (
         baseline
-        if args.planner == "baseline" and faults is None
+        if is_baseline_run
         else run_task(
             task,
             args.planner,
@@ -106,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_iterations=args.iterations,
             faults=faults,
             max_retries=args.max_retries,
+            observers=observers,
         )
     )
     breakdown = result.time_breakdown()
@@ -136,6 +151,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for mode, count in sorted(result.recovery_modes().items())
         )
         print(f"recovery: {modes}")
+    if counter is not None:
+        print("events:")
+        for name, count in sorted(counter.counts.items()):
+            print(f"  {name:<18} {count}")
     return 0 if result.succeeded else 1
 
 
@@ -209,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--budget-gb", type=float, required=True)
     run_p.add_argument("--iterations", type=int, default=60)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach an event-bus counter and print per-event totals",
+    )
     _add_fault_options(run_p)
     run_p.set_defaults(func=_cmd_run)
 

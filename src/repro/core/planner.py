@@ -232,7 +232,7 @@ class MimosePlanner(Planner):
     # --------------------------------------------------------------- observe
 
     def observe(self, stats: IterationStats) -> None:
-        if stats.mode == ExecutionMode.COLLECT.value:
+        if stats.is_collect:
             self.collector.ingest(stats.measurements)
             if not stats.oom:
                 self._base_samples.append((stats.input_size, stats.peak_in_use))

@@ -114,6 +114,19 @@ class DataParallelExecutor:
         self.total_time = 0.0
         self.total_compute_time = 0.0
 
+    def subscribe_all(self, observer_factory: Callable[[int], Callable]):
+        """Attach one event-bus observer per rank.
+
+        ``observer_factory(rank)`` must return a handler; it is subscribed
+        (wildcard) to that rank's ``executor.events`` bus.  Returns the
+        per-rank ``(bus, subscription)`` pairs so callers can unsubscribe.
+        """
+        tokens = []
+        for rank, ex in enumerate(self.executors):
+            handler = observer_factory(rank)
+            tokens.append((ex.events, ex.events.subscribe(handler)))
+        return tokens
+
     def allreduce_time(self) -> float:
         """Full ring all-reduce duration for one gradient set."""
         if self.world_size == 1:

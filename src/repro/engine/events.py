@@ -1,0 +1,384 @@
+"""Typed iteration events and the executor's event bus.
+
+The execution engine publishes everything observable about an iteration
+as typed events on an :class:`EventBus` owned by the executor
+(``executor.events``).  Cross-cutting consumers — the
+:class:`~repro.engine.trace.MemoryTimeline`, iteration-stats assembly,
+replay-record capture, fault-window arming — are *subscribers* rather
+than inline executor code, and third parties (benchmarks, examples,
+tracing exporters) can attach observers without touching the executor:
+
+    executor = TrainingExecutor(model, planner, capacity_bytes=budget)
+    executor.events.subscribe(lambda e: peaks.append(e.bytes_in_use),
+                              UnitForward)
+
+Delivery contract:
+
+* events are delivered synchronously, on the simulation "thread", at the
+  exact simulated timestamp they describe (``clock.now`` is consistent
+  with the event's ``time`` field where one exists);
+* handlers run in **subscription order** — a handler subscribed earlier
+  always observes an event before one subscribed later, regardless of
+  whether either subscribed to the specific type or to all events;
+* handlers must not mutate the executor mid-iteration; they are
+  observers.  (The engine's own subscribers — stats assembly, timeline,
+  replay capture — only append to their own state.)
+
+Hot-path discipline: constructing an event nobody listens to is wasted
+work, so publishers guard optional per-allocation events with
+:meth:`EventBus.wants`.  Per-unit events (a dozen per iteration) are
+always published — the stats builder consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.stats import IterationStats, UnitMeasurement
+
+
+# ---------------------------------------------------------------------------
+# Event types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IterationStart:
+    """A new iteration is about to run (emitted before replay lookup)."""
+
+    iteration: int
+    mode: str  # ExecutionMode.value
+    plan_label: str
+    input_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class UnitForward:
+    """One unit's forward pass (and its post-forward plan action) finished."""
+
+    iteration: int
+    unit: str
+    time: float  # simulated clock at emission
+    bytes_in_use: int
+    bytes_reserved: int
+    fwd_time: float
+    checkpointed: bool  # dropped after forward (incl. segment members)
+
+
+@dataclass(frozen=True, slots=True)
+class UnitBackward:
+    """One unit's backward pass (incl. any recompute) finished."""
+
+    iteration: int
+    unit: str
+    time: float
+    bytes_in_use: int
+    bytes_reserved: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimeCharged:
+    """Simulated seconds charged to one stats component.
+
+    ``component`` is one of ``fwd``, ``bwd``, ``recompute``, ``collect``,
+    ``upkeep``, ``optimizer``, ``swap_stall``, ``eviction_search``.
+    The stats builder folds these into the iteration breakdown in
+    emission order, which keeps float accumulation bit-identical to the
+    pre-event-bus executor.
+    """
+
+    component: str
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementTaken:
+    """The shuttling collector measured one unit (COLLECT mode)."""
+
+    iteration: int
+    measurement: "UnitMeasurement"
+
+
+@dataclass(frozen=True, slots=True)
+class TensorAlloc:
+    """An activation tensor was materialized (opt-in: publishers guard
+    this with ``bus.wants(TensorAlloc)`` — it is per-tensor hot-path)."""
+
+    iteration: int
+    nbytes: int
+    owner: str
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class TensorEvicted:
+    """A reactive planner evicted one unit's activations."""
+
+    iteration: int
+    unit: str
+    nbytes: int
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class SwapOut:
+    """A unit's activations were scheduled onto the PCIe copy engine."""
+
+    iteration: int
+    unit: str
+    nbytes: int
+    done: float  # simulated time the transfer completes
+
+
+@dataclass(frozen=True, slots=True)
+class SwapIn:
+    """An offloaded unit's activations started prefetching back."""
+
+    iteration: int
+    unit: str
+    nbytes: int
+    done: float
+
+
+@dataclass(frozen=True, slots=True)
+class OomHit:
+    """The iteration ran out of memory and is being unwound."""
+
+    iteration: int
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryRung:
+    """The recovery ladder produced a retry decision for a failed iteration."""
+
+    iteration: int
+    attempt: int  # 0-based retry counter
+    mode: str  # e.g. "replan", "widen-reserve", "full-checkpoint"
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayHit:
+    """The iteration was served from the replay cache (not simulated)."""
+
+    iteration: int
+    base_time: float  # simulated clock after the planning charge
+    sim_time: float  # recorded simulated duration being replayed
+    points: tuple = ()  # relative timeline samples, see engine.replay
+
+
+@dataclass(frozen=True, slots=True)
+class IterationEnd:
+    """The iteration's stats are final (replayed or fully simulated)."""
+
+    stats: "IterationStats"
+
+
+# ---------------------------------------------------------------------------
+# The bus
+# ---------------------------------------------------------------------------
+
+
+Handler = Callable[[object], None]
+
+
+@dataclass(slots=True)
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; pass to
+    :meth:`EventBus.unsubscribe` to detach."""
+
+    handler: Handler
+    event_types: Optional[tuple[type, ...]]  # None = all events
+    order: int
+    active: bool = True
+
+    def matches(self, event_type: type) -> bool:
+        return self.event_types is None or event_type in self.event_types
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for iteration events.
+
+    Handlers are invoked in subscription order (see module docstring).
+    Dispatch lists are cached per concrete event type and rebuilt lazily
+    on (un)subscription, so :meth:`emit` is a dict lookup plus a loop.
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        self._order = 0
+        self._dispatch: dict[type, tuple[Handler, ...]] = {}
+
+    def subscribe(
+        self, handler: Handler, *event_types: type
+    ) -> Subscription:
+        """Attach ``handler`` for the given event types (none = all).
+
+        Returns a :class:`Subscription` token for :meth:`unsubscribe`.
+        """
+        sub = Subscription(
+            handler=handler,
+            event_types=tuple(event_types) if event_types else None,
+            order=self._order,
+        )
+        self._order += 1
+        self._subs.append(sub)
+        self._dispatch.clear()
+        return sub
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach a subscription; unknown/stale tokens are a no-op."""
+        try:
+            self._subs.remove(subscription)
+        except ValueError:
+            return
+        subscription.active = False
+        self._dispatch.clear()
+
+    def wants(self, event_type: type) -> bool:
+        """Whether any subscriber would receive ``event_type`` — use to
+        skip constructing hot-path events with no audience."""
+        return bool(self._handlers_for(event_type))
+
+    def emit(self, event: object) -> None:
+        """Deliver ``event`` to every matching handler, in order."""
+        for handler in self._handlers_for(type(event)):
+            handler(event)
+
+    # ------------------------------------------------------------- internals
+
+    def _handlers_for(self, event_type: type) -> tuple[Handler, ...]:
+        handlers = self._dispatch.get(event_type)
+        if handlers is None:
+            handlers = tuple(
+                s.handler for s in self._subs if s.matches(event_type)
+            )
+            self._dispatch[event_type] = handlers
+        return handlers
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+
+# ---------------------------------------------------------------------------
+# Engine-provided observers
+# ---------------------------------------------------------------------------
+
+
+class TimelineObserver:
+    """Feeds a :class:`~repro.engine.trace.MemoryTimeline` from the bus.
+
+    Replaces the executor's inline ``_sample`` calls: unit forward and
+    backward events become ``fwd:<unit>`` / ``bwd:<unit>`` samples, and
+    replay hits re-emit the recorded relative samples, exactly as the
+    full simulation would have.
+    """
+
+    def __init__(self, timeline) -> None:
+        self.timeline = timeline
+
+    def attach(self, bus: EventBus) -> Subscription:
+        return bus.subscribe(self, UnitForward, UnitBackward, ReplayHit)
+
+    def __call__(self, event) -> None:
+        if type(event) is ReplayHit:
+            self.timeline.record_relative(
+                event.base_time, event.iteration, event.points
+            )
+            return
+        phase = (
+            f"fwd:{event.unit}"
+            if type(event) is UnitForward
+            else f"bwd:{event.unit}"
+        )
+        self.timeline.record(
+            event.time,
+            event.bytes_in_use,
+            event.bytes_reserved,
+            phase,
+            event.iteration,
+        )
+
+
+class EventCounter:
+    """Counts events by type name — the smallest useful observer.
+
+    Used by ``python -m repro run --trace`` and handy in notebooks::
+
+        counter = EventCounter().attach(executor.events)
+        ...
+        print(counter.counts)
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def attach(self, bus: EventBus) -> "EventCounter":
+        bus.subscribe(self)
+        return self
+
+    def __call__(self, event) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+@dataclass(slots=True)
+class FaultArmObserver:
+    """Arms the fault injector's per-iteration window.
+
+    Subscribing this to :class:`IterationStart` replaces the executor's
+    inline ``faults.begin_iteration`` call; the window is armed before
+    the replay-eligibility check reads ``faults.quiet()``, exactly as
+    before.
+    """
+
+    injector: object  # FaultInjector (kept untyped to avoid an import cycle)
+
+    def attach(self, bus: EventBus) -> Subscription:
+        return bus.subscribe(self, IterationStart)
+
+    def __call__(self, event: IterationStart) -> None:
+        self.injector.begin_iteration(event.iteration)
+
+
+@dataclass(slots=True)
+class ReplayPointRecorder:
+    """Captures relative timeline samples for the replay cache.
+
+    Armed by the pipeline at simulation start (only when a replay record
+    could be stored *and* a timeline is active); collects the same
+    ``(dt, in_use, reserved, phase)`` tuples the timeline records, so a
+    replayed iteration can re-emit them shifted onto the current clock.
+    """
+
+    _base: float = 0.0
+    _points: Optional[list] = None
+    _subscription: Optional[Subscription] = field(default=None, repr=False)
+
+    def attach(self, bus: EventBus) -> "ReplayPointRecorder":
+        self._subscription = bus.subscribe(self, UnitForward, UnitBackward)
+        return self
+
+    def arm(self, base_time: float) -> None:
+        self._base = base_time
+        self._points = []
+
+    def disarm(self) -> tuple:
+        points = tuple(self._points) if self._points is not None else ()
+        self._points = None
+        return points
+
+    def __call__(self, event) -> None:
+        if self._points is None:
+            return
+        phase = (
+            f"fwd:{event.unit}"
+            if type(event) is UnitForward
+            else f"bwd:{event.unit}"
+        )
+        self._points.append(
+            (event.time - self._base, event.bytes_in_use,
+             event.bytes_reserved, phase)
+        )

@@ -1,56 +1,49 @@
-"""Simulated training executor.
+"""Simulated training executor — the iteration-pipeline driver.
 
 Runs training iterations of a :class:`~repro.models.base.SegmentedModel`
-under the direction of a :class:`~repro.planners.base.Planner`, allocating
-every activation tensor from the :class:`~repro.tensorsim.allocator
-.CachingAllocator` and advancing a simulated clock per the device roofline
-model.  Three execution modes (see :class:`~repro.planners.base
-.ExecutionMode`):
+under a :class:`~repro.planners.base.Planner`, allocating every activation
+from the simulated caching allocator and advancing a simulated clock per
+the device roofline model.  The executor itself is deliberately thin:
+per-mode behaviour lives in :mod:`repro.engine.strategies`, everything
+observable is published on :attr:`TrainingExecutor.events`
+(:mod:`repro.engine.events`), and the engine's own cross-cutting concerns
+(stats assembly, timeline sampling, replay capture, fault arming) are bus
+subscribers like any third-party observer.  One iteration runs as::
 
-* NORMAL — apply the planner's checkpoint plan: checkpointed units drop all
-  internal activations at the end of their forward and rematerialise them
-  during backward;
-* COLLECT — Mimose's sheltered execution: every checkpointable unit runs
-  its forward twice (Fig 7) and per-unit memory/time measurements are
-  returned in the iteration stats;
-* REACTIVE — DTR semantics: nothing is dropped up front; when an
-  allocation would exceed the logical budget (or physically fails), the
-  planner's ``on_oom`` picks victims to evict.
+    plan → (replay-cache lookup) → strategy.begin
+         → input alloc → strategy.run_forward → strategy.run_backward
+         → optimizer → stats finalize → (replay-record store)
 
-Modelling notes (documented deviations from a real runtime):
-
-* Activations inside one unit are allocated before the unit's compute time
-  is charged, so intra-unit transients all coexist — a slightly
-  conservative peak estimate at the granularity planners operate on.
-* Gradient buffers for activations are not modelled separately; parameter
-  gradients are part of the static footprint.  This affects all planners
-  identically and cancels in every relative comparison the paper makes.
+Modelling deviations from a real runtime are documented in
+:mod:`repro.engine.strategies`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.events import (
+    EventBus, FaultArmObserver, IterationEnd, IterationStart, OomHit,
+    RecoveryRung, ReplayHit, ReplayPointRecorder, TimelineObserver,
+)
 from repro.engine.replay import ReplayCache, ReplayRecord
-from repro.engine.stats import IterationStats, UnitMeasurement
+from repro.engine.stats import IterationStats
+from repro.engine.strategies import (
+    ExecutionStrategy, IterationContext, StatsBuilder, SwapEngine,
+    strategy_for,
+)
 from repro.engine.trace import MemoryTimeline
 from repro.graph.module import ModuleProfile
 from repro.models.base import BatchInput, SegmentedModel
-from repro.planners.base import (
-    EvictableGroup,
-    ExecutionMode,
-    PlanDecision,
-    Planner,
-)
+from repro.planners.base import PlanDecision, Planner
 from repro.tensorsim.allocator import Block, CachingAllocator, OutOfMemoryError
 from repro.tensorsim.clock import SimClock
-from repro.tensorsim.faults import FaultInjector, FaultPlan
 from repro.tensorsim.device import DeviceModel
-from repro.tensorsim.tensor import SimTensor
-from repro.tensorsim.tensor import TensorSpec
+from repro.tensorsim.faults import FaultInjector, FaultPlan
+from repro.tensorsim.tensor import SimTensor, TensorSpec
 
 
 class IterationOOM(RuntimeError):
@@ -64,68 +57,34 @@ class IterationOOM(RuntimeError):
         )
 
 
-@dataclass(slots=True)
-class _UnitRuntime:
-    """Executor-side state of one unit within the current iteration.
-
-    ``internals`` always aligns element-wise with ``records`` — the unit's
-    activation records minus the final one when that record *is* the output
-    boundary (the boundary lives in ``boundary`` and has its own lifetime).
-    """
-
-    name: str
-    profile: ModuleProfile
-    internals: list[SimTensor] = field(default_factory=list)
-    records: tuple = ()
-    boundary: Optional[SimTensor] = None
-    boundary_is_internal: bool = False
-    recompute_needed: bool = False
-    fwd_time: float = 0.0
-    last_access: float = 0.0
-    # swap state (hybrid plans): offloaded means the saved internals live
-    # in host memory and must be transferred back before backward
-    offloaded: bool = False
-    swapin_issued: bool = False
-    swapin_done: float = 0.0
-
-
 class TrainingExecutor:
     """Drives a planner through simulated training iterations.
 
     Args:
         model: the segmented model to train.
-        planner: decides checkpoint plans / evictions; also supplies the
-            memory budget.
+        planner: decides checkpoint plans / evictions; supplies the budget.
         device: roofline timing model.
-        capacity_bytes: hard memory capacity of the allocator.  For
-            plan-based planners this should equal the budget (they promise
-            to stay inside it); for reactive planners and the baseline it
-            should be the physical device memory, with the budget enforced
-            logically (this is how DTR's fragmentation overshoot becomes
-            observable, Fig 5).
-        coalescing: allocator coalescing; disable to model the CUDA caching
-            allocator's fragmentation behaviour under churn (DTR).
-        timeline: optional memory timeline recorder.
+        capacity_bytes: hard allocator capacity.  Plan-based planners set
+            it to their budget; reactive planners and the baseline use
+            physical device memory with the budget enforced logically
+            (how DTR's fragmentation overshoot becomes observable, Fig 5).
+        coalescing: allocator coalescing; disable to model the CUDA
+            caching allocator's fragmentation under churn (DTR).
+        timeline: optional memory timeline recorder (an event-bus
+            subscriber, :class:`~repro.engine.events.TimelineObserver`).
         raise_on_oom: raise :class:`IterationOOM` instead of returning a
             failed :class:`IterationStats`.
-        measurement_noise: relative standard deviation of multiplicative
-            noise applied to COLLECT-mode memory/time measurements
-            (deterministic given ``noise_seed``).  Real profiling carries
-            jitter from allocator races and timer resolution; the paper's
-            estimator must be robust to it.
-        noise_seed: seed for the measurement-noise stream.
-        faults: optional fault-injection plan (or a prebuilt injector):
-            fragmentation spikes, transient allocation failures, and
-            measurement misprediction noise, all deterministic per seed.
+        measurement_noise: relative stddev of multiplicative noise on
+            COLLECT-mode measurements, deterministic given ``noise_seed``.
+        faults: optional fault-injection plan (or a prebuilt injector),
+            deterministic per seed — see :mod:`repro.tensorsim.faults`.
         max_recovery_retries: retry budget per iteration when the planner
-            supports recovery (see :meth:`step`); 0 disables recovery and
-            restores the seed behaviour where any OOM is fatal.
-        replay: enable the iteration replay cache (see
-            :mod:`repro.engine.replay`): iterations whose world is provably
-            identical to a recorded one are served from memory instead of
-            re-simulated, with bit-identical stats and timeline (only the
-            genuinely-measured ``planning_time`` differs).  REACTIVE,
-            fault-window and recovery iterations always run in full.
+            supports recovery (see :meth:`step`); 0 makes any OOM fatal.
+        replay: enable the iteration replay cache
+            (:mod:`repro.engine.replay`).
+
+    Attach observers to :attr:`events`; the engine's own subscribers
+    (fault arming, stats, timeline, replay capture) register first.
     """
 
     def __init__(
@@ -155,7 +114,7 @@ class TrainingExecutor:
         if measurement_noise < 0:
             raise ValueError("measurement_noise must be non-negative")
         self.measurement_noise = measurement_noise
-        self._noise_rng = (
+        self.noise_rng = (
             np.random.default_rng(noise_seed) if measurement_noise else None
         )
         if max_recovery_retries < 0:
@@ -168,16 +127,16 @@ class TrainingExecutor:
         self._iteration = 0
         self._time_cache: dict[tuple[str, TensorSpec], tuple[float, float]] = {}
         self._static_blocks = self._allocate_static()
-        # Reactive-mode state (valid only during a REACTIVE iteration):
-        self._evictable: dict[str, _UnitRuntime] = {}
-        self._eviction_count = 0
-        self._eviction_search_time = 0.0
-        self._reactive = False
-        # Swap state (valid only within one iteration):
-        self._copy_free = 0.0
-        self._pending_swapouts: list[tuple[float, _UnitRuntime]] = []
-
-    # ----------------------------------------------------------------- setup
+        self.swap = SwapEngine()
+        # The event bus and the engine's own subscribers.  Subscription
+        # order is delivery order; user observers attach after these.
+        self.events = EventBus()
+        if self.faults is not None:
+            FaultArmObserver(self.faults).attach(self.events)
+        self._stats = StatsBuilder().attach(self.events)
+        if self.timeline is not None:
+            TimelineObserver(self.timeline).attach(self.events)
+        self._replay_points = ReplayPointRecorder().attach(self.events)
 
     def _allocate_static(self) -> list[Block]:
         static = self.model.static_memory()
@@ -202,9 +161,7 @@ class TrainingExecutor:
     def static_bytes(self) -> int:
         return sum(b.size for b in self._static_blocks)
 
-    # ------------------------------------------------------------ time model
-
-    def _times(self, profile: ModuleProfile) -> tuple[float, float]:
+    def unit_times(self, profile: ModuleProfile) -> tuple[float, float]:
         """(forward, backward) seconds for one unit profile (cached)."""
         key = (profile.module_name, profile.input)
         cached = self._time_cache.get(key)
@@ -227,22 +184,19 @@ class TrainingExecutor:
         """(total forward, total backward) seconds for one batch shape."""
         fwd = bwd = 0.0
         for p in self.model.profiles(batch):
-            f, b = self._times(p)
+            f, b = self.unit_times(p)
             fwd += f
             bwd += b
         return fwd, bwd
 
-    # ------------------------------------------------------------- execution
-
     def step(self, batch: BatchInput) -> IterationStats:
         """Plan and execute one training iteration.
 
-        If the iteration OOMs and the planner supports recovery, the
-        iteration is rolled back and retried under decisions from the
-        planner's escalation ladder (:meth:`Planner.recover`), up to
-        ``max_recovery_retries`` times.  The failed attempts' wall-clock
-        is charged to the surviving attempt's planning time, and the
-        retry count / escalation rung are recorded in its stats.
+        An iteration that OOMs under a recovery-capable planner is rolled
+        back and retried under the planner's escalation ladder
+        (:meth:`Planner.recover`), up to ``max_recovery_retries`` times;
+        the failed attempts' time is charged to the survivor's planning
+        time and the retry count / rung recorded in its stats.
         """
         decision = self.planner.plan(batch)
         stats = self.run_iteration(batch, decision)
@@ -265,9 +219,10 @@ class TrainingExecutor:
             decision = self.planner.recover(batch, stats, retries)
             if decision is None:
                 break
+            mode = decision.recovery_mode or "retry"
+            self.events.emit(RecoveryRung(stats.iteration, retries, mode))
             wasted += stats.total_time
             retries += 1
-            mode = decision.recovery_mode or "retry"
             # The retry *replaces* the failed attempt: same iteration number.
             self._iteration -= 1
             stats = self.run_iteration(batch, decision)
@@ -283,57 +238,59 @@ class TrainingExecutor:
     def run_iteration(self, batch: BatchInput, decision: PlanDecision) -> IterationStats:
         """Execute one iteration under an explicit plan decision.
 
-        Fast path: when the replay cache holds a record proving this
-        iteration's world (mode, plan, batch shape, allocator state) is
-        identical to one already simulated, the recorded stats and
-        timeline are replayed without touching the allocator.  Otherwise
-        the iteration is simulated in full at tensor granularity, and —
-        if it succeeds and leaves the allocator exactly as it found it —
-        recorded for future replay.
+        Fast path: a replay record proving this iteration's world (mode,
+        plan, batch shape, allocator state) identical to one already
+        simulated is served without touching the allocator; otherwise
+        simulate in full and — if the allocator round-trips — record.
         """
         self._iteration += 1
         iteration = self._iteration
-        if self.faults is not None:
-            self.faults.begin_iteration(iteration)
-        replay_key = self._replay_key(batch, decision)
+        # Arms the fault window (FaultArmObserver) before replay
+        # eligibility reads ``faults.quiet()``.
+        self.events.emit(
+            IterationStart(
+                iteration, decision.mode.value,
+                decision.plan.label, batch.input_size,
+            )
+        )
+        strategy = strategy_for(decision)
+        replay_key = self._replay_key(batch, decision, strategy)
         if replay_key is not None:
             record = self.replay.lookup(replay_key)
             if record is not None:
                 return self._replay_iteration(iteration, decision, record)
-        return self._simulate_iteration(batch, decision, iteration, replay_key)
-
-    # ------------------------------------------------------------ replay path
+        return self._simulate(batch, decision, iteration, strategy, replay_key)
 
     def invalidate_replay(self) -> None:
-        """Drop all replay records (external world change, e.g. planner
-        margin/reserve reconfiguration between iterations)."""
+        """Drop all replay records (external world change, e.g. a planner
+        reserve reconfiguration between iterations)."""
         if self.replay is not None:
             self.replay.invalidate()
 
-    def _replay_key(self, batch: BatchInput, decision: PlanDecision) -> Optional[tuple]:
-        """The replay fingerprint for this iteration, or None if it must
-        be simulated in full (see :mod:`repro.engine.replay`)."""
+    def _replay_key(
+        self,
+        batch: BatchInput,
+        decision: PlanDecision,
+        strategy: ExecutionStrategy,
+    ) -> Optional[tuple]:
+        """The replay fingerprint, or None if the iteration must be
+        simulated.  The bypass/invalidate ladder is ordered; its counters
+        are public contract (see :mod:`repro.engine.replay`)."""
         cache = self.replay
         if cache is None:
             return None
-        if decision.mode is ExecutionMode.REACTIVE:
-            # history-dependent eviction decisions: never replayable
+        if not strategy.replayable:  # history-dependent (reactive) mode
             cache.bypasses += 1
             return None
-        if decision.recovery_mode:
-            # the escalation ladder changes planner reserves; records made
-            # under the old margins must not survive it
+        if decision.recovery_mode:  # escalation ladder moved the reserves
             cache.bypasses += 1
             cache.invalidate()
             return None
         if self.faults is not None and not self.faults.quiet():
-            # a fault perturbs the world for this iteration and possibly
-            # the allocator layout beyond it
-            cache.bypasses += 1
+            cache.bypasses += 1  # the fault window perturbs the world
             cache.invalidate()
             return None
-        if decision.mode is ExecutionMode.COLLECT and self._noise_rng is not None:
-            # the measurement-noise stream is stateful and must advance
+        if not strategy.allows_replay(self):  # e.g. stateful noise stream
             cache.bypasses += 1
             return None
         return ReplayCache.key(
@@ -348,234 +305,76 @@ class TrainingExecutor:
     ) -> IterationStats:
         """Serve one iteration from its replay record (allocator untouched)."""
         self.clock.advance(decision.planning_time)
-        if self.timeline is not None:
-            self.timeline.record_relative(self.clock.now, iteration, record.points)
+        if self.events.wants(ReplayHit):
+            # the TimelineObserver re-emits the recorded samples
+            self.events.emit(
+                ReplayHit(
+                    iteration, self.clock.now, record.sim_time, record.points
+                )
+            )
         self.clock.advance(record.sim_time)
-        return record.materialize(iteration, decision)
+        stats = record.materialize(iteration, decision)
+        self.events.emit(IterationEnd(stats))
+        return stats
 
-    # -------------------------------------------------------- full simulation
-
-    def _simulate_iteration(
+    def _simulate(
         self,
         batch: BatchInput,
         decision: PlanDecision,
         iteration: int,
+        strategy: ExecutionStrategy,
         replay_key: Optional[tuple],
     ) -> IterationStats:
         alloc = self.allocator
         alloc.reset_peaks()
-        mode = decision.mode
-        self._reactive = mode is ExecutionMode.REACTIVE
-        self._evictable = {}
-        self._eviction_count = 0
-        self._eviction_search_time = 0.0
-
-        comp = {
-            "fwd": 0.0,
-            "bwd": 0.0,
-            "recompute": 0.0,
-            "collect": 0.0,
-            "planning": decision.planning_time,
-            "upkeep": 0.0,
-            "optimizer": 0.0,
-            "swap_stall": 0.0,
-        }
-        # PCIe copy engine: busy-until timestamp and in-flight swap-outs
-        self._copy_free = self.clock.now
-        self._pending_swapouts: list[tuple[float, _UnitRuntime]] = []
-        num_swapped = 0
+        self._stats.begin(decision.planning_time)
+        # The PCIe copy engine idles while the host plans: its busy-until
+        # baseline is the *pre*-planning clock.
+        self.swap.reset(self.clock.now)
         self.clock.advance(decision.planning_time)
         sim_start = self.clock.now
-        tl_mark = self.timeline.mark() if self.timeline is not None else 0
-        measurements: list[UnitMeasurement] = []
-        runtimes: list[_UnitRuntime] = []
-        input_tensor: Optional[SimTensor] = None
-        upkeep_rate = self.planner.upkeep_time_per_tensor
-
-        profiles = self.model.profiles(batch)
-        num_ckpt = 0
-        seg_of, seg_first, seg_last = self._segment_info(decision)
-        seg_runtimes: dict[int, list[_UnitRuntime]] = {}
+        record_points = (
+            replay_key is not None
+            and self.timeline is not None
+            and self.timeline.enabled
+        )
+        if record_points:
+            self._replay_points.arm(sim_start)
+        ctx = IterationContext(
+            executor=self,
+            decision=decision,
+            batch=batch,
+            iteration=iteration,
+            strategy=strategy,
+            swap=self.swap,
+            profiles=self.model.profiles(batch),
+        )
+        strategy.begin(ctx)  # plan validation errors propagate, not OOM
         fault_block: Optional[Block] = None
+        oom = False
         try:
             if self.faults is not None:
                 phantom = self.faults.phantom_bytes()
                 if phantom > 0:
                     # fragmentation spike: memory that exists but is not ours
                     fault_block = alloc.malloc(phantom, owner="fault:frag")
-            input_tensor = SimTensor(batch.spec, "input")
-            self._alloc_tensor(input_tensor)
-            # ------------------------------------------------------- forward
-            prev_rt: Optional[_UnitRuntime] = None
-            for unit, prof in zip(self.model.units, profiles):
-                self._flush_swapouts()
-                fwd_t, _ = self._times(prof)
-                if upkeep_rate:
-                    dt = upkeep_rate * len(prof.activations)
-                    comp["upkeep"] += dt
-                    self.clock.advance(dt)
-                rt = _UnitRuntime(unit.name, prof, fwd_time=fwd_t)
-                runtimes.append(rt)  # registered before allocs so OOM unwinds it
-                in_segment = (
-                    mode is ExecutionMode.NORMAL and unit.name in seg_of
-                )
-                checkpointed = not in_segment and self._is_checkpointed(
-                    unit.name, unit.checkpointable, decision
-                )
-                if checkpointed or in_segment:
-                    num_ckpt += 1
-
-                self._materialize_internals(rt)
-                self.clock.advance(fwd_t)
-                comp["fwd"] += fwd_t
-                self._ensure_boundary(rt)
-
-                if mode is ExecutionMode.COLLECT and unit.checkpointable:
-                    saved = self._saved_block_bytes(rt)
-                    meas_t = fwd_t
-                    if self._noise_rng is not None:
-                        jitter = 1.0 + self._noise_rng.normal(
-                            0.0, self.measurement_noise, 2
-                        )
-                        saved = max(0, int(saved * max(jitter[0], 0.0)))
-                        meas_t = fwd_t * max(jitter[1], 0.0)
-                    if self.faults is not None:
-                        saved = self.faults.perturb_measurement(saved)
-                    measurements.append(
-                        UnitMeasurement(unit.name, batch.input_size, saved, meas_t)
-                    )
-                    # the second, shuttling forward pass (Fig 7)
-                    self.clock.advance(fwd_t)
-                    comp["collect"] += fwd_t
-
-                if in_segment:
-                    # segment member: internals drop like a checkpoint, and
-                    # the *interior* boundary feeding this unit drops too —
-                    # the group recompute will rebuild both
-                    self._drop_internals(rt)
-                    seg_runtimes.setdefault(seg_of[unit.name], []).append(rt)
-                    if (
-                        unit.name not in seg_first
-                        and prev_rt is not None
-                        and prev_rt.boundary is not None
-                    ):
-                        prev_rt.boundary.drop(alloc)
-                elif checkpointed:
-                    self._drop_internals(rt)
-                    rt.recompute_needed = True
-                else:
-                    self._free_transients(rt)
-                    rt.last_access = self.clock.now
-                    if self._reactive and unit.checkpointable and rt.internals:
-                        self._evictable[rt.name] = rt
-                    elif (
-                        mode is ExecutionMode.NORMAL
-                        and unit.checkpointable
-                        and unit.name in decision.plan.swap_units
-                        and rt.internals
-                    ):
-                        # schedule the PCIe swap-out; memory is released
-                        # once the copy engine finishes the transfer
-                        nbytes = sum(
-                            t.block.size for t in rt.internals
-                            if t.block is not None
-                        )
-                        start = max(self._copy_free, self.clock.now)
-                        done = start + self.device.transfer_time(nbytes)
-                        self._copy_free = done
-                        self._pending_swapouts.append((done, rt))
-                        num_swapped += 1
-                prev_rt = rt
-                self._sample(f"fwd:{unit.name}", iteration)
-
-            # ------------------------------------------------------ backward
-            bwd_order = list(reversed(runtimes))
-            for j, rt in enumerate(bwd_order):
-                self._flush_swapouts()
-                # cancel swap-outs the backward reached before they finished
-                self._pending_swapouts = [
-                    (t, r) for t, r in self._pending_swapouts if r is not rt
-                ]
-                # prefetch the next unit's swapped activations (lookahead 1)
-                if j + 1 < len(bwd_order):
-                    self._issue_swapin(bwd_order[j + 1])
-                if rt.offloaded:
-                    self._issue_swapin(rt)
-                    if self.clock.now < rt.swapin_done:
-                        stall = rt.swapin_done - self.clock.now
-                        self.clock.advance(stall)
-                        comp["swap_stall"] += stall
-                    rt.offloaded = False
-                if rt.name in seg_last:
-                    # group recompute: replay the whole segment forward,
-                    # rebuilding internals and interior boundaries
-                    for urt in seg_runtimes[seg_of[rt.name]]:
-                        self._materialize_internals(urt)
-                        self.clock.advance(urt.fwd_time)
-                        comp["recompute"] += urt.fwd_time
-                        self._free_transients(urt)
-                        if urt is not rt and urt.boundary is not None:
-                            urt.boundary.materialize(alloc)
-                if rt.recompute_needed:
-                    self._materialize_internals(rt)
-                    self.clock.advance(rt.fwd_time)
-                    comp["recompute"] += rt.fwd_time
-                    if upkeep_rate:
-                        dt = upkeep_rate * len(rt.profile.activations)
-                        comp["upkeep"] += dt
-                        self.clock.advance(dt)
-                    self._free_transients(rt)
-                    rt.recompute_needed = False
-                _, bwd_t = self._times(rt.profile)
-                self.clock.advance(bwd_t)
-                comp["bwd"] += bwd_t
-                self._evictable.pop(rt.name, None)
-                self._release_unit(rt)
-                self._sample(f"bwd:{rt.name}", iteration)
-
-            input_tensor.drop(alloc)
-            input_tensor = None
-            opt_t = self._optimizer_time()
-            self.clock.advance(opt_t)
-            comp["optimizer"] += opt_t
-            oom = False
+            ctx.input_tensor = SimTensor(batch.spec, "input")
+            ctx.alloc_tensor(ctx.input_tensor)
+            strategy.run_forward(ctx)
+            strategy.run_backward(ctx)
+            ctx.input_tensor.drop(alloc)
+            ctx.input_tensor = None
+            ctx.charge("optimizer", self._optimizer_time())
         except OutOfMemoryError:
             # Unwind everything allocated this iteration and report failure.
-            self._pending_swapouts = []
-            for rt in runtimes:
-                self._release_unit(rt)
-            if input_tensor is not None:
-                input_tensor.drop(alloc)
+            ctx.unwind()
             oom = True
-
+            self.events.emit(OomHit(iteration, self.clock.now))
         if fault_block is not None:
             alloc.free(fault_block)
-        comp["planning"] += self._eviction_search_time
-        stats = IterationStats(
-            iteration=iteration,
-            input_size=batch.input_size,
-            input_shape=batch.shape,
-            mode=mode.value,
-            plan_label=decision.plan.label or self.planner.name,
-            num_checkpointed=num_ckpt,
-            fwd_time=comp["fwd"],
-            bwd_time=comp["bwd"],
-            recompute_time=comp["recompute"],
-            collect_time=comp["collect"],
-            planning_time=comp["planning"],
-            upkeep_time=comp["upkeep"],
-            optimizer_time=comp["optimizer"],
-            peak_in_use=alloc.stats.peak_in_use,
-            peak_reserved=alloc.stats.peak_reserved,
-            end_in_use=alloc.bytes_in_use,
-            fragmentation_bytes=alloc.fragmentation_bytes(),
-            evictions=self._eviction_count,
-            oom=oom,
-            measurements=tuple(measurements),
-            swap_stall_time=comp["swap_stall"],
-            num_swapped=num_swapped,
-            predicted_peak_bytes=decision.plan.predicted_peak_bytes,
-        )
+        points = self._replay_points.disarm() if record_points else ()
+        stats = self._stats.finalize(ctx, oom)
+        self.events.emit(IterationEnd(stats))
         if oom:
             if self.replay is not None:
                 # reserves/margins will move in response; stale records
@@ -591,11 +390,6 @@ class TrainingExecutor:
             # Steady state proven: the iteration left the allocator exactly
             # as it found it, so replaying it later is indistinguishable
             # from re-simulating it.
-            points = (
-                self.timeline.relative_since(tl_mark, sim_start)
-                if self.timeline is not None and self.timeline.enabled
-                else ()
-            )
             self.replay.store(
                 replay_key,
                 ReplayRecord(
@@ -605,249 +399,6 @@ class TrainingExecutor:
                 ),
             )
         return stats
-
-    # --------------------------------------------------------- unit helpers
-
-    def _segment_info(
-        self, decision: PlanDecision
-    ) -> tuple[dict[str, int], set[str], set[str]]:
-        """Validate plan segments and index them.
-
-        Returns ``(unit -> segment id, first-of-segment names,
-        last-of-segment names)``.  Each segment must be a consecutive run
-        of checkpointable units in model order.
-        """
-        segments = decision.plan.segments
-        if not segments:
-            return {}, set(), set()
-        order = {u.name: i for i, u in enumerate(self.model.units)}
-        checkpointable = {
-            u.name for u in self.model.units if u.checkpointable
-        }
-        seg_of: dict[str, int] = {}
-        first: set[str] = set()
-        last: set[str] = set()
-        for sid, segment in enumerate(segments):
-            indices = []
-            for name in segment:
-                if name not in order:
-                    raise ValueError(f"unknown unit in segment: {name!r}")
-                if name not in checkpointable:
-                    raise ValueError(
-                        f"non-checkpointable unit in segment: {name!r}"
-                    )
-                indices.append(order[name])
-                seg_of[name] = sid
-            if indices != list(range(indices[0], indices[0] + len(indices))):
-                raise ValueError(
-                    f"segment units must be consecutive in model order: {segment}"
-                )
-            first.add(segment[0])
-            last.add(segment[-1])
-        return seg_of, first, last
-
-    def _is_checkpointed(
-        self, name: str, checkpointable: bool, decision: PlanDecision
-    ) -> bool:
-        if not checkpointable:
-            return False
-        if decision.mode is ExecutionMode.COLLECT:
-            return True  # sheltered execution keeps the Sublinear footprint
-        if decision.mode is ExecutionMode.REACTIVE:
-            return False
-        return name in decision.plan
-
-    def _materialize_internals(self, rt: _UnitRuntime) -> None:
-        """(Re)allocate the unit's non-boundary activations, record-aligned.
-
-        On the first forward call ``records`` is not yet trimmed, so this
-        allocates all activation records; :meth:`_ensure_boundary` then
-        promotes the trailing record to the boundary if applicable.  On
-        recompute calls ``records`` is already trimmed and the boundary is
-        still live, so exactly the dropped internals come back.
-        """
-        assert not any(t.is_materialized for t in rt.internals), "already live"
-        if not rt.records:
-            rt.records = rt.profile.activations
-        rt.internals = []
-        # Transient (non-saved) tensors are freed as soon as their consumer
-        # has run — modelled as "when the next record is allocated".  The
-        # trailing transient survives until the unit's cleanup (it may be
-        # the unit output awaiting boundary promotion).
-        prev_transient: Optional[SimTensor] = None
-        for rec in rt.records:
-            t = SimTensor(rec.spec, rec.name)
-            self._alloc_tensor(t)
-            rt.internals.append(t)
-            if prev_transient is not None:
-                prev_transient.drop(self.allocator)
-            prev_transient = None if rec.saved else t
-
-    def _ensure_boundary(self, rt: _UnitRuntime) -> None:
-        """Bind the unit's output tensor (reusing the last record if it is it)."""
-        if rt.boundary is not None:
-            return
-        acts = rt.profile.activations
-        if acts and acts[-1].spec == rt.profile.output and rt.internals:
-            rt.boundary = rt.internals.pop()
-            rt.records = rt.records[:-1]
-            rt.boundary_is_internal = True
-        else:
-            rt.boundary = SimTensor(rt.profile.output, f"{rt.name}.out")
-            self._alloc_tensor(rt.boundary)
-            rt.boundary_is_internal = False
-
-    def _drop_internals(self, rt: _UnitRuntime) -> None:
-        """Checkpoint/evict: free every internal (the boundary stays).
-
-        ``records`` is reset to the full non-boundary record list so a later
-        recompute rematerialises the transient working tensors too.
-        """
-        for t in rt.internals:
-            t.drop(self.allocator)
-        rt.internals = []
-        acts = rt.profile.activations
-        rt.records = acts[:-1] if rt.boundary_is_internal else acts
-
-    def _free_transients(self, rt: _UnitRuntime) -> None:
-        """Free forward-only working tensors; keep the saved ones."""
-        keep_tensors: list[SimTensor] = []
-        keep_records = []
-        for t, rec in zip(rt.internals, rt.records):
-            if rec.saved:
-                keep_tensors.append(t)
-                keep_records.append(rec)
-            else:
-                t.drop(self.allocator)
-        rt.internals = keep_tensors
-        rt.records = tuple(keep_records)
-
-    def _release_unit(self, rt: _UnitRuntime) -> None:
-        for t in rt.internals:
-            t.drop(self.allocator)
-        rt.internals = []
-        if rt.boundary is not None:
-            rt.boundary.drop(self.allocator)
-        rt.boundary = None
-
-    def _saved_block_bytes(self, rt: _UnitRuntime) -> int:
-        """Allocator-rounded bytes of the unit's saved activations."""
-        total = 0
-        for t, rec in zip(rt.internals, rt.records):
-            if rec.saved and t.block is not None:
-                total += t.block.size
-        return total
-
-    # ------------------------------------------------------------- swapping
-
-    def _flush_swapouts(self) -> None:
-        """Release activations whose PCIe swap-out has completed by now."""
-        if not self._pending_swapouts:
-            return
-        now = self.clock.now
-        remaining: list[tuple[float, _UnitRuntime]] = []
-        for done, rt in self._pending_swapouts:
-            if done <= now and rt.internals:
-                for t in rt.internals:
-                    t.drop(self.allocator)
-                rt.internals = []
-                rt.offloaded = True
-            elif done > now:
-                remaining.append((done, rt))
-        self._pending_swapouts = remaining
-
-    def _issue_swapin(self, rt: _UnitRuntime) -> None:
-        """Start prefetching an offloaded unit's activations (idempotent)."""
-        if not rt.offloaded or rt.swapin_issued:
-            return
-        rt.internals = []
-        nbytes = 0
-        for rec in rt.records:
-            t = SimTensor(rec.spec, rec.name)
-            self._alloc_tensor(t)
-            rt.internals.append(t)
-            if t.block is not None:
-                nbytes += t.block.size
-        start = max(self._copy_free, self.clock.now)
-        rt.swapin_done = start + self.device.transfer_time(nbytes)
-        self._copy_free = rt.swapin_done
-        rt.swapin_issued = True
-
-    # ---------------------------------------------------------- allocation
-
-    def _alloc_tensor(self, tensor: SimTensor) -> None:
-        injected = self.faults is not None and self.faults.should_fail(
-            tensor.nbytes
-        )
-        if not self._reactive:
-            if injected:
-                raise OutOfMemoryError(
-                    tensor.nbytes,
-                    self.allocator.bytes_free_cached,
-                    self.allocator.largest_free_block(),
-                )
-            tensor.materialize(self.allocator)
-            return
-        if injected:
-            # Reactive planners react to a failed cudaMalloc by evicting;
-            # give them the same chance against an injected failure.
-            self._evict_one(tensor.nbytes)
-        # Reactive path: enforce the logical budget first, then let the
-        # planner evict on genuine (fragmentation) failures too.
-        budget = self.planner.budget_bytes
-        needed = tensor.nbytes
-        while (
-            self.allocator.bytes_in_use + needed > budget
-            and self._evict_one(needed)
-        ):
-            pass
-        while True:
-            try:
-                tensor.materialize(self.allocator)
-                return
-            except OutOfMemoryError:
-                if not self._evict_one(needed):
-                    raise
-
-    def _evict_one(self, requested: int) -> bool:
-        pool = {
-            name: EvictableGroup(
-                unit_name=name,
-                nbytes=sum(
-                    t.block.size for t in rt.internals
-                    if t.block is not None and t is not rt.boundary
-                ),
-                compute_time=rt.fwd_time,
-                last_access=rt.last_access,
-                num_tensors=len(rt.internals),
-            )
-            for name, rt in self._evictable.items()
-        }
-        pool = {k: g for k, g in pool.items() if g.nbytes > 0}
-        if not pool:
-            return False
-        victim, search_t = self.planner.on_oom(requested, pool, self.clock.now)
-        self._eviction_search_time += search_t
-        self.clock.advance(search_t)
-        if victim is None:
-            return False
-        rt = self._evictable.pop(victim)
-        self._drop_internals(rt)
-        rt.recompute_needed = True
-        self._eviction_count += 1
-        return True
-
-    # ------------------------------------------------------------ recording
-
-    def _sample(self, phase: str, iteration: int) -> None:
-        if self.timeline is not None:
-            self.timeline.record(
-                self.clock.now,
-                self.allocator.bytes_in_use,
-                self.allocator.bytes_reserved,
-                phase,
-                iteration,
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -69,6 +69,16 @@ class IterationStats:
         return self.retries > 0 and not self.oom
 
     @property
+    def is_collect(self) -> bool:
+        """Whether this was a sheltered (COLLECT-mode) iteration.
+
+        String comparison against :class:`~repro.planners.base
+        .ExecutionMode.COLLECT`'s value, kept here so stats consumers
+        (planners, tables) need no mode-enum branching of their own.
+        """
+        return self.mode == "collect"
+
+    @property
     def total_time(self) -> float:
         return (
             self.fwd_time

@@ -1,0 +1,851 @@
+"""Per-mode execution strategies and the iteration pipeline stages.
+
+The executor proper (:mod:`repro.engine.executor`) is a thin driver: it
+resolves the planner's :class:`~repro.planners.base.PlanDecision` to an
+:class:`ExecutionStrategy`, sets up an :class:`IterationContext`, and
+runs ``begin → forward → backward``.  Everything that differs between
+execution modes lives here, in one strategy class per mode:
+
+* :class:`NormalStrategy` — apply the planner's checkpoint plan:
+  checkpointed units drop internals after their forward and
+  rematerialise during backward; segments replay whole groups (Chen et
+  al.); swap units ride the PCIe copy engine (Capuchin-style hybrid).
+* :class:`CollectStrategy` — Mimose's sheltered execution: every
+  checkpointable unit is checkpointed (Sublinear footprint) and runs its
+  forward twice (Fig 7), emitting per-unit measurements.
+* :class:`ReactiveStrategy` — DTR semantics: nothing is dropped up
+  front; allocations that would exceed the logical budget (or that
+  physically fail) trigger the planner's ``on_oom`` eviction.
+
+Cross-cutting concerns are pipeline stages composed around the
+strategies:
+
+* :class:`SwapEngine` — the PCIe copy engine (busy-until timestamp,
+  in-flight swap-outs, lookahead-1 prefetch);
+* :class:`StatsBuilder` — assembles :class:`~repro.engine.stats
+  .IterationStats` from the event stream;
+* fault-window arming and replay capture — observers in
+  :mod:`repro.engine.events`.
+
+Modelling notes (deviations from a real runtime): intra-unit transients
+are allocated before the unit's compute time is charged (a slightly
+conservative peak at planner granularity), and activation-gradient
+buffers are not modelled separately — both affect all planners
+identically and cancel in every relative comparison the paper makes.
+
+Determinism contract: these classes were extracted from the monolithic
+executor under a bit-identical ``RunResult.digest`` constraint
+(``tests/test_executor_pipeline.py``).  Float accumulation is **order
+sensitive** (addition is not associative), so the sequence of
+``IterationContext.charge`` calls, the noise-RNG draws in
+:class:`CollectStrategy`, and the fault-injector consultations in
+``alloc`` must not be reordered casually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from repro.engine.events import (
+    MeasurementTaken,
+    SwapIn,
+    SwapOut,
+    TensorAlloc,
+    TensorEvicted,
+    TimeCharged,
+    UnitBackward,
+    UnitForward,
+)
+from repro.engine.stats import IterationStats, UnitMeasurement
+from repro.graph.module import ModuleProfile
+from repro.planners.base import EvictableGroup, ExecutionMode, PlanDecision
+from repro.tensorsim.allocator import OutOfMemoryError
+from repro.tensorsim.tensor import SimTensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import TrainingExecutor
+    from repro.models.base import BatchInput
+
+
+@dataclass(slots=True)
+class UnitRuntime:
+    """Execution-side state of one unit within the current iteration.
+
+    ``internals`` always aligns element-wise with ``records`` — the unit's
+    activation records minus the final one when that record *is* the output
+    boundary (the boundary lives in ``boundary`` and has its own lifetime).
+    """
+
+    name: str
+    profile: ModuleProfile
+    internals: list[SimTensor] = field(default_factory=list)
+    records: tuple = ()
+    boundary: Optional[SimTensor] = None
+    boundary_is_internal: bool = False
+    recompute_needed: bool = False
+    fwd_time: float = 0.0
+    last_access: float = 0.0
+    # swap state (hybrid plans): offloaded means the saved internals live
+    # in host memory and must be transferred back before backward
+    offloaded: bool = False
+    swapin_issued: bool = False
+    swapin_done: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting stage: the PCIe copy engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class SwapEngine:
+    """One PCIe copy engine: serialised transfers, busy-until timestamp.
+
+    Swap-outs release device memory only when the transfer completes
+    (:meth:`flush`); backward prefetches the next offloaded unit with a
+    lookahead of one (:meth:`issue_swapin`) and stalls on the remainder.
+    ``reset`` must run *before* the planning-time clock advance — the
+    copy engine idles while the host plans.
+    """
+
+    copy_free: float = 0.0
+    pending: list[tuple[float, UnitRuntime]] = field(default_factory=list)
+
+    def reset(self, now: float) -> None:
+        self.copy_free = now
+        self.pending = []
+
+    def flush(self, ctx: "IterationContext") -> None:
+        """Release activations whose swap-out has completed by now."""
+        if not self.pending:
+            return
+        now = ctx.clock.now
+        remaining: list[tuple[float, UnitRuntime]] = []
+        for done, rt in self.pending:
+            if done <= now and rt.internals:
+                for t in rt.internals:
+                    t.drop(ctx.allocator)
+                rt.internals = []
+                rt.offloaded = True
+            elif done > now:
+                remaining.append((done, rt))
+        self.pending = remaining
+
+    def cancel(self, rt: UnitRuntime) -> None:
+        """Abort in-flight swap-outs the backward pass caught up with."""
+        self.pending = [(t, r) for t, r in self.pending if r is not rt]
+
+    def schedule_out(self, ctx: "IterationContext", rt: UnitRuntime) -> None:
+        """Queue the unit's saved activations onto the copy engine."""
+        nbytes = sum(
+            t.block.size for t in rt.internals if t.block is not None
+        )
+        start = max(self.copy_free, ctx.clock.now)
+        done = start + ctx.device.transfer_time(nbytes)
+        self.copy_free = done
+        self.pending.append((done, rt))
+        ctx.bus.emit(SwapOut(ctx.iteration, rt.name, nbytes, done))
+
+    def issue_swapin(self, ctx: "IterationContext", rt: UnitRuntime) -> None:
+        """Start prefetching an offloaded unit's activations (idempotent)."""
+        if not rt.offloaded or rt.swapin_issued:
+            return
+        rt.internals = []
+        nbytes = 0
+        for rec in rt.records:
+            t = SimTensor(rec.spec, rec.name)
+            ctx.alloc_tensor(t)
+            rt.internals.append(t)
+            if t.block is not None:
+                nbytes += t.block.size
+        start = max(self.copy_free, ctx.clock.now)
+        rt.swapin_done = start + ctx.device.transfer_time(nbytes)
+        self.copy_free = rt.swapin_done
+        rt.swapin_issued = True
+        if ctx.bus.wants(SwapIn):
+            ctx.bus.emit(
+                SwapIn(ctx.iteration, rt.name, nbytes, rt.swapin_done)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Iteration context: shared state + tensor-lifetime helpers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class IterationContext:
+    """Everything one iteration's pipeline stages share.
+
+    Owns the per-iteration mutable state (unit runtimes, the input
+    tensor) and the tensor-lifetime helpers the strategies compose.
+    Tensor allocation (:meth:`alloc_tensor`) dispatches through the
+    strategy so reactive planners can interpose eviction.
+    """
+
+    executor: "TrainingExecutor"
+    decision: PlanDecision
+    batch: "BatchInput"
+    iteration: int
+    strategy: "ExecutionStrategy"
+    swap: SwapEngine
+    profiles: tuple[ModuleProfile, ...]
+    runtimes: list[UnitRuntime] = field(default_factory=list)
+    input_tensor: Optional[SimTensor] = None
+
+    # ----------------------------------------------------------- shortcuts
+
+    @property
+    def allocator(self):
+        return self.executor.allocator
+
+    @property
+    def clock(self):
+        return self.executor.clock
+
+    @property
+    def device(self):
+        return self.executor.device
+
+    @property
+    def bus(self):
+        return self.executor.events
+
+    @property
+    def faults(self):
+        return self.executor.faults
+
+    @property
+    def planner(self):
+        return self.executor.planner
+
+    @property
+    def model(self):
+        return self.executor.model
+
+    # ---------------------------------------------------------- time & alloc
+
+    def times(self, profile: ModuleProfile) -> tuple[float, float]:
+        return self.executor.unit_times(profile)
+
+    def charge(self, component: str, seconds: float) -> None:
+        """Advance the clock and publish the charge to one stats component."""
+        self.clock.advance(seconds)
+        self.bus.emit(TimeCharged(component, seconds))
+
+    def alloc_tensor(self, tensor: SimTensor) -> None:
+        self.strategy.alloc(self, tensor)
+
+    # ------------------------------------------------------ tensor lifetimes
+
+    def materialize_internals(self, rt: UnitRuntime) -> None:
+        """(Re)allocate the unit's non-boundary activations, record-aligned.
+
+        On the first forward call ``records`` is not yet trimmed, so this
+        allocates all activation records; :meth:`ensure_boundary` then
+        promotes the trailing record to the boundary if applicable.  On
+        recompute calls ``records`` is already trimmed and the boundary is
+        still live, so exactly the dropped internals come back.
+        """
+        assert not any(t.is_materialized for t in rt.internals), "already live"
+        if not rt.records:
+            rt.records = rt.profile.activations
+        rt.internals = []
+        # Transient (non-saved) tensors are freed as soon as their consumer
+        # has run — modelled as "when the next record is allocated".  The
+        # trailing transient survives until the unit's cleanup (it may be
+        # the unit output awaiting boundary promotion).
+        prev_transient: Optional[SimTensor] = None
+        for rec in rt.records:
+            t = SimTensor(rec.spec, rec.name)
+            self.alloc_tensor(t)
+            rt.internals.append(t)
+            if prev_transient is not None:
+                prev_transient.drop(self.allocator)
+            prev_transient = None if rec.saved else t
+
+    def ensure_boundary(self, rt: UnitRuntime) -> None:
+        """Bind the unit's output tensor (reusing the last record if it is it)."""
+        if rt.boundary is not None:
+            return
+        acts = rt.profile.activations
+        if acts and acts[-1].spec == rt.profile.output and rt.internals:
+            rt.boundary = rt.internals.pop()
+            rt.records = rt.records[:-1]
+            rt.boundary_is_internal = True
+        else:
+            rt.boundary = SimTensor(rt.profile.output, f"{rt.name}.out")
+            self.alloc_tensor(rt.boundary)
+            rt.boundary_is_internal = False
+
+    def drop_internals(self, rt: UnitRuntime) -> None:
+        """Checkpoint/evict: free every internal (the boundary stays).
+
+        ``records`` is reset to the full non-boundary record list so a later
+        recompute rematerialises the transient working tensors too.
+        """
+        for t in rt.internals:
+            t.drop(self.allocator)
+        rt.internals = []
+        acts = rt.profile.activations
+        rt.records = acts[:-1] if rt.boundary_is_internal else acts
+
+    def free_transients(self, rt: UnitRuntime) -> None:
+        """Free forward-only working tensors; keep the saved ones."""
+        keep_tensors: list[SimTensor] = []
+        keep_records = []
+        for t, rec in zip(rt.internals, rt.records):
+            if rec.saved:
+                keep_tensors.append(t)
+                keep_records.append(rec)
+            else:
+                t.drop(self.allocator)
+        rt.internals = keep_tensors
+        rt.records = tuple(keep_records)
+
+    def release_unit(self, rt: UnitRuntime) -> None:
+        for t in rt.internals:
+            t.drop(self.allocator)
+        rt.internals = []
+        if rt.boundary is not None:
+            rt.boundary.drop(self.allocator)
+        rt.boundary = None
+
+    def saved_block_bytes(self, rt: UnitRuntime) -> int:
+        """Allocator-rounded bytes of the unit's saved activations."""
+        total = 0
+        for t, rec in zip(rt.internals, rt.records):
+            if rec.saved and t.block is not None:
+                total += t.block.size
+        return total
+
+    def unwind(self) -> None:
+        """OOM: free everything this iteration allocated, in reverse-ish
+        order (pending swap-outs, every unit runtime, the input)."""
+        self.swap.pending = []
+        for rt in self.runtimes:
+            self.release_unit(rt)
+        if self.input_tensor is not None:
+            self.input_tensor.drop(self.allocator)
+            self.input_tensor = None
+
+    # -------------------------------------------------------------- events
+
+    def emit_unit_forward(self, rt: UnitRuntime, checkpointed: bool) -> None:
+        alloc = self.allocator
+        self.bus.emit(
+            UnitForward(
+                self.iteration,
+                rt.name,
+                self.clock.now,
+                alloc.bytes_in_use,
+                alloc.bytes_reserved,
+                rt.fwd_time,
+                checkpointed,
+            )
+        )
+
+    def emit_unit_backward(self, rt: UnitRuntime) -> None:
+        alloc = self.allocator
+        self.bus.emit(
+            UnitBackward(
+                self.iteration,
+                rt.name,
+                self.clock.now,
+                alloc.bytes_in_use,
+                alloc.bytes_reserved,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+class ExecutionStrategy:
+    """One execution mode's forward/backward/allocation behaviour.
+
+    Instances are created fresh per iteration by :func:`strategy_for`, so
+    subclasses may keep per-iteration state (segment groups, evictable
+    pools) as plain attributes.
+    """
+
+    #: the :class:`ExecutionMode` this strategy implements
+    mode: ClassVar[ExecutionMode]
+    #: False when iterations are history-dependent and must never be
+    #: served from the replay cache (see engine.replay)
+    replayable: ClassVar[bool] = True
+
+    def allows_replay(self, executor: "TrainingExecutor") -> bool:
+        """Per-executor replay veto (e.g. a stateful noise RNG stream)."""
+        return True
+
+    def begin(self, ctx: IterationContext) -> None:
+        """Validate/stage per-iteration structures before any allocation."""
+
+    def run_forward(self, ctx: IterationContext) -> None:
+        raise NotImplementedError
+
+    def run_backward(self, ctx: IterationContext) -> None:
+        raise NotImplementedError
+
+    def alloc(self, ctx: IterationContext, tensor: SimTensor) -> None:
+        """Plan-based allocation: fail fast on (injected) OOM."""
+        faults = ctx.faults
+        if faults is not None and faults.should_fail(tensor.nbytes):
+            raise OutOfMemoryError(
+                tensor.nbytes,
+                ctx.allocator.bytes_free_cached,
+                ctx.allocator.largest_free_block(),
+            )
+        tensor.materialize(ctx.allocator)
+        if ctx.bus.wants(TensorAlloc):
+            ctx.bus.emit(
+                TensorAlloc(
+                    ctx.iteration, tensor.nbytes, tensor.name, ctx.clock.now
+                )
+            )
+
+    # --------------------------------------------------------- shared steps
+
+    def open_unit(self, ctx: IterationContext, unit, prof) -> UnitRuntime:
+        """Per-unit forward prologue: upkeep charge + runtime registration."""
+        fwd_t, _ = ctx.times(prof)
+        upkeep_rate = ctx.planner.upkeep_time_per_tensor
+        if upkeep_rate:
+            ctx.charge("upkeep", upkeep_rate * len(prof.activations))
+        rt = UnitRuntime(unit.name, prof, fwd_time=fwd_t)
+        ctx.runtimes.append(rt)  # registered before allocs so OOM unwinds it
+        return rt
+
+    def forward_compute(self, ctx: IterationContext, rt: UnitRuntime) -> None:
+        """Allocate activations, charge the forward, bind the boundary."""
+        ctx.materialize_internals(rt)
+        ctx.charge("fwd", rt.fwd_time)
+        ctx.ensure_boundary(rt)
+
+    def recompute_if_needed(
+        self, ctx: IterationContext, rt: UnitRuntime
+    ) -> None:
+        """Rematerialise a checkpointed/evicted unit before its backward."""
+        if not rt.recompute_needed:
+            return
+        ctx.materialize_internals(rt)
+        ctx.charge("recompute", rt.fwd_time)
+        upkeep_rate = ctx.planner.upkeep_time_per_tensor
+        if upkeep_rate:
+            ctx.charge("upkeep", upkeep_rate * len(rt.profile.activations))
+        ctx.free_transients(rt)
+        rt.recompute_needed = False
+
+
+class NormalStrategy(ExecutionStrategy):
+    """Apply the planner's checkpoint plan: drops, segments, and swap."""
+
+    mode = ExecutionMode.NORMAL
+
+    def __init__(self) -> None:
+        self.seg_of: dict[str, int] = {}
+        self.seg_first: set[str] = set()
+        self.seg_last: set[str] = set()
+        self.seg_runtimes: dict[int, list[UnitRuntime]] = {}
+
+    def begin(self, ctx: IterationContext) -> None:
+        self.seg_of, self.seg_first, self.seg_last = segment_info(
+            ctx.model, ctx.decision
+        )
+
+    def run_forward(self, ctx: IterationContext) -> None:
+        plan = ctx.decision.plan
+        prev_rt: Optional[UnitRuntime] = None
+        for unit, prof in zip(ctx.model.units, ctx.profiles):
+            ctx.swap.flush(ctx)
+            rt = self.open_unit(ctx, unit, prof)
+            in_segment = unit.name in self.seg_of
+            checkpointed = (
+                not in_segment and unit.checkpointable and unit.name in plan
+            )
+            self.forward_compute(ctx, rt)
+            if in_segment:
+                # segment member: internals drop like a checkpoint, and
+                # the *interior* boundary feeding this unit drops too —
+                # the group recompute will rebuild both
+                ctx.drop_internals(rt)
+                self.seg_runtimes.setdefault(
+                    self.seg_of[unit.name], []
+                ).append(rt)
+                if (
+                    unit.name not in self.seg_first
+                    and prev_rt is not None
+                    and prev_rt.boundary is not None
+                ):
+                    prev_rt.boundary.drop(ctx.allocator)
+            elif checkpointed:
+                ctx.drop_internals(rt)
+                rt.recompute_needed = True
+            else:
+                ctx.free_transients(rt)
+                rt.last_access = ctx.clock.now
+                if (
+                    unit.checkpointable
+                    and unit.name in plan.swap_units
+                    and rt.internals
+                ):
+                    # memory is released once the copy engine finishes
+                    ctx.swap.schedule_out(ctx, rt)
+            prev_rt = rt
+            ctx.emit_unit_forward(rt, checkpointed or in_segment)
+
+    def run_backward(self, ctx: IterationContext) -> None:
+        bwd_order = list(reversed(ctx.runtimes))
+        for j, rt in enumerate(bwd_order):
+            ctx.swap.flush(ctx)
+            # cancel swap-outs the backward reached before they finished
+            ctx.swap.cancel(rt)
+            # prefetch the next unit's swapped activations (lookahead 1)
+            if j + 1 < len(bwd_order):
+                ctx.swap.issue_swapin(ctx, bwd_order[j + 1])
+            if rt.offloaded:
+                ctx.swap.issue_swapin(ctx, rt)
+                if ctx.clock.now < rt.swapin_done:
+                    ctx.charge("swap_stall", rt.swapin_done - ctx.clock.now)
+                rt.offloaded = False
+            if rt.name in self.seg_last:
+                # group recompute: replay the whole segment forward,
+                # rebuilding internals and interior boundaries
+                for urt in self.seg_runtimes[self.seg_of[rt.name]]:
+                    ctx.materialize_internals(urt)
+                    ctx.charge("recompute", urt.fwd_time)
+                    ctx.free_transients(urt)
+                    if urt is not rt and urt.boundary is not None:
+                        urt.boundary.materialize(ctx.allocator)
+            self.recompute_if_needed(ctx, rt)
+            _, bwd_t = ctx.times(rt.profile)
+            ctx.charge("bwd", bwd_t)
+            ctx.release_unit(rt)
+            ctx.emit_unit_backward(rt)
+
+
+class CollectStrategy(ExecutionStrategy):
+    """Mimose's sheltered execution: measure everything, keep the
+    Sublinear footprint, run every checkpointable forward twice (Fig 7).
+
+    Segments and swap plans are NORMAL-mode concepts and are ignored
+    here — sheltered decisions carry bare plans by construction.
+    """
+
+    mode = ExecutionMode.COLLECT
+
+    def allows_replay(self, executor: "TrainingExecutor") -> bool:
+        # the measurement-noise stream is stateful and must advance
+        return executor.noise_rng is None
+
+    def run_forward(self, ctx: IterationContext) -> None:
+        noise_rng = ctx.executor.noise_rng
+        for unit, prof in zip(ctx.model.units, ctx.profiles):
+            rt = self.open_unit(ctx, unit, prof)
+            self.forward_compute(ctx, rt)
+            if unit.checkpointable:
+                saved = ctx.saved_block_bytes(rt)
+                meas_t = rt.fwd_time
+                if noise_rng is not None:
+                    jitter = 1.0 + noise_rng.normal(
+                        0.0, ctx.executor.measurement_noise, 2
+                    )
+                    saved = max(0, int(saved * max(jitter[0], 0.0)))
+                    meas_t = rt.fwd_time * max(jitter[1], 0.0)
+                if ctx.faults is not None:
+                    saved = ctx.faults.perturb_measurement(saved)
+                ctx.bus.emit(
+                    MeasurementTaken(
+                        ctx.iteration,
+                        UnitMeasurement(
+                            unit.name, ctx.batch.input_size, saved, meas_t
+                        ),
+                    )
+                )
+                # the second, shuttling forward pass (Fig 7)
+                ctx.charge("collect", rt.fwd_time)
+                # sheltered execution keeps the Sublinear footprint
+                ctx.drop_internals(rt)
+                rt.recompute_needed = True
+            else:
+                ctx.free_transients(rt)
+                rt.last_access = ctx.clock.now
+            ctx.emit_unit_forward(rt, unit.checkpointable)
+
+    def run_backward(self, ctx: IterationContext) -> None:
+        for rt in reversed(ctx.runtimes):
+            self.recompute_if_needed(ctx, rt)
+            _, bwd_t = ctx.times(rt.profile)
+            ctx.charge("bwd", bwd_t)
+            ctx.release_unit(rt)
+            ctx.emit_unit_backward(rt)
+
+
+class ReactiveStrategy(ExecutionStrategy):
+    """DTR semantics: keep everything, evict on demand via the planner.
+
+    Eviction decisions depend on runtime history (tensor staleness), so
+    two same-shape iterations are not the same world — ``replayable``
+    is False and the replay cache always bypasses this mode.
+    """
+
+    mode = ExecutionMode.REACTIVE
+    replayable = False
+
+    def __init__(self) -> None:
+        self.evictable: dict[str, UnitRuntime] = {}
+
+    def run_forward(self, ctx: IterationContext) -> None:
+        for unit, prof in zip(ctx.model.units, ctx.profiles):
+            rt = self.open_unit(ctx, unit, prof)
+            self.forward_compute(ctx, rt)
+            ctx.free_transients(rt)
+            rt.last_access = ctx.clock.now
+            if unit.checkpointable and rt.internals:
+                self.evictable[rt.name] = rt
+            ctx.emit_unit_forward(rt, False)
+
+    def run_backward(self, ctx: IterationContext) -> None:
+        for rt in reversed(ctx.runtimes):
+            self.recompute_if_needed(ctx, rt)
+            _, bwd_t = ctx.times(rt.profile)
+            ctx.charge("bwd", bwd_t)
+            self.evictable.pop(rt.name, None)
+            ctx.release_unit(rt)
+            ctx.emit_unit_backward(rt)
+
+    def alloc(self, ctx: IterationContext, tensor: SimTensor) -> None:
+        faults = ctx.faults
+        injected = faults is not None and faults.should_fail(tensor.nbytes)
+        if injected:
+            # Reactive planners react to a failed cudaMalloc by evicting;
+            # give them the same chance against an injected failure.
+            self._evict_one(ctx, tensor.nbytes)
+        # Enforce the logical budget first, then let the planner evict on
+        # genuine (fragmentation) failures too.
+        budget = ctx.planner.budget_bytes
+        needed = tensor.nbytes
+        allocator = ctx.allocator
+        while (
+            allocator.bytes_in_use + needed > budget
+            and self._evict_one(ctx, needed)
+        ):
+            pass
+        while True:
+            try:
+                tensor.materialize(allocator)
+                break
+            except OutOfMemoryError:
+                if not self._evict_one(ctx, needed):
+                    raise
+        if ctx.bus.wants(TensorAlloc):
+            ctx.bus.emit(
+                TensorAlloc(
+                    ctx.iteration, tensor.nbytes, tensor.name, ctx.clock.now
+                )
+            )
+
+    def _evict_one(self, ctx: IterationContext, requested: int) -> bool:
+        pool = {
+            name: EvictableGroup(
+                unit_name=name,
+                nbytes=sum(
+                    t.block.size for t in rt.internals
+                    if t.block is not None and t is not rt.boundary
+                ),
+                compute_time=rt.fwd_time,
+                last_access=rt.last_access,
+                num_tensors=len(rt.internals),
+            )
+            for name, rt in self.evictable.items()
+        }
+        pool = {k: g for k, g in pool.items() if g.nbytes > 0}
+        if not pool:
+            return False
+        victim, search_t = ctx.planner.on_oom(requested, pool, ctx.clock.now)
+        ctx.charge("eviction_search", search_t)
+        if victim is None:
+            return False
+        rt = self.evictable.pop(victim)
+        nbytes = pool[victim].nbytes
+        ctx.drop_internals(rt)
+        rt.recompute_needed = True
+        ctx.bus.emit(
+            TensorEvicted(ctx.iteration, victim, nbytes, ctx.clock.now)
+        )
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Strategy registry
+# ---------------------------------------------------------------------------
+
+
+_STRATEGIES: dict[ExecutionMode, type[ExecutionStrategy]] = {
+    ExecutionMode.NORMAL: NormalStrategy,
+    ExecutionMode.COLLECT: CollectStrategy,
+    ExecutionMode.REACTIVE: ReactiveStrategy,
+}
+
+
+def register_strategy(cls: type[ExecutionStrategy]) -> type[ExecutionStrategy]:
+    """Register (or override) the strategy class for ``cls.mode``.
+
+    Usable as a decorator; this is the pluggable-backend hook — a future
+    hybrid swap+recompute mode registers here without executor changes.
+    """
+    _STRATEGIES[cls.mode] = cls
+    return cls
+
+
+def strategy_for(decision: PlanDecision) -> ExecutionStrategy:
+    """A fresh strategy instance for the decision's execution mode."""
+    try:
+        cls = _STRATEGIES[decision.mode]
+    except KeyError:
+        raise ValueError(
+            f"no execution strategy registered for {decision.mode!r}"
+        ) from None
+    return cls()
+
+
+# ---------------------------------------------------------------------------
+# Segment indexing (NORMAL-mode plans)
+# ---------------------------------------------------------------------------
+
+
+def segment_info(
+    model, decision: PlanDecision
+) -> tuple[dict[str, int], set[str], set[str]]:
+    """Validate plan segments and index them.
+
+    Returns ``(unit -> segment id, first-of-segment names,
+    last-of-segment names)``.  Each segment must be a consecutive run
+    of checkpointable units in model order.
+    """
+    segments = decision.plan.segments
+    if not segments:
+        return {}, set(), set()
+    order = {u.name: i for i, u in enumerate(model.units)}
+    checkpointable = {u.name for u in model.units if u.checkpointable}
+    seg_of: dict[str, int] = {}
+    first: set[str] = set()
+    last: set[str] = set()
+    for sid, segment in enumerate(segments):
+        indices = []
+        for name in segment:
+            if name not in order:
+                raise ValueError(f"unknown unit in segment: {name!r}")
+            if name not in checkpointable:
+                raise ValueError(
+                    f"non-checkpointable unit in segment: {name!r}"
+                )
+            indices.append(order[name])
+            seg_of[name] = sid
+        if indices != list(range(indices[0], indices[0] + len(indices))):
+            raise ValueError(
+                f"segment units must be consecutive in model order: {segment}"
+            )
+        first.add(segment[0])
+        last.add(segment[-1])
+    return seg_of, first, last
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting stage: stats assembly
+# ---------------------------------------------------------------------------
+
+
+class StatsBuilder:
+    """Assembles :class:`IterationStats` from the event stream.
+
+    Time components accumulate in event-emission order, which matches
+    the charge order of the pre-refactor executor exactly — float
+    addition is not associative, and ``RunResult.digest`` is pinned
+    bit-identical.  Eviction-search time is kept in its own accumulator
+    and folded into the planning component once, at :meth:`finalize`
+    (the planner's search *is* planning work, Table III).
+    """
+
+    _COMPONENTS = (
+        "fwd", "bwd", "recompute", "collect",
+        "upkeep", "optimizer", "swap_stall",
+    )
+
+    def __init__(self) -> None:
+        self._comp: dict[str, float] = {}
+        self._eviction_search = 0.0
+        self._planning = 0.0
+        self._measurements: list[UnitMeasurement] = []
+        self._num_checkpointed = 0
+        self._evictions = 0
+        self._num_swapped = 0
+
+    def attach(self, bus) -> "StatsBuilder":
+        bus.subscribe(
+            self,
+            TimeCharged, UnitForward, MeasurementTaken,
+            TensorEvicted, SwapOut,
+        )
+        return self
+
+    def begin(self, planning_time: float) -> None:
+        self._comp = {c: 0.0 for c in self._COMPONENTS}
+        self._planning = planning_time
+        self._eviction_search = 0.0
+        self._measurements = []
+        self._num_checkpointed = 0
+        self._evictions = 0
+        self._num_swapped = 0
+
+    def __call__(self, event) -> None:
+        t = type(event)
+        if t is TimeCharged:
+            if event.component == "eviction_search":
+                self._eviction_search += event.seconds
+            else:
+                self._comp[event.component] += event.seconds
+        elif t is UnitForward:
+            if event.checkpointed:
+                self._num_checkpointed += 1
+        elif t is MeasurementTaken:
+            self._measurements.append(event.measurement)
+        elif t is TensorEvicted:
+            self._evictions += 1
+        elif t is SwapOut:
+            self._num_swapped += 1
+
+    def finalize(self, ctx: IterationContext, oom: bool) -> IterationStats:
+        comp = self._comp
+        executor = ctx.executor
+        alloc = executor.allocator
+        decision = ctx.decision
+        return IterationStats(
+            iteration=ctx.iteration,
+            input_size=ctx.batch.input_size,
+            input_shape=ctx.batch.shape,
+            mode=decision.mode.value,
+            plan_label=decision.plan.label or executor.planner.name,
+            num_checkpointed=self._num_checkpointed,
+            fwd_time=comp["fwd"],
+            bwd_time=comp["bwd"],
+            recompute_time=comp["recompute"],
+            collect_time=comp["collect"],
+            planning_time=self._planning + self._eviction_search,
+            upkeep_time=comp["upkeep"],
+            optimizer_time=comp["optimizer"],
+            peak_in_use=alloc.stats.peak_in_use,
+            peak_reserved=alloc.stats.peak_reserved,
+            end_in_use=alloc.bytes_in_use,
+            fragmentation_bytes=alloc.fragmentation_bytes(),
+            evictions=self._evictions,
+            oom=oom,
+            measurements=tuple(self._measurements),
+            swap_stall_time=comp["swap_stall"],
+            num_swapped=self._num_swapped,
+            predicted_peak_bytes=decision.plan.predicted_peak_bytes,
+        )

@@ -79,6 +79,7 @@ def run_task(
     max_iterations: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     max_retries: int = 3,
+    observers: Sequence[Callable[[TrainingExecutor], None]] = (),
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -91,6 +92,13 @@ def run_task(
     :mod:`repro.tensorsim.faults`); each run builds its own injector so
     sweeps stay independent.  ``max_retries`` bounds the OOM recovery
     ladder for planners that support it (Mimose).
+
+    ``observers`` are callables invoked with the freshly built executor
+    before the first iteration — the hook for attaching event-bus
+    subscribers (``lambda ex: ex.events.subscribe(handler, ...)``)
+    without reaching into executor internals.  Observers must not change
+    simulated behaviour (the bus is observe-only), so the digest contract
+    is unaffected.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
@@ -111,6 +119,8 @@ def run_task(
         faults=FaultInjector(faults) if faults is not None else None,
         max_recovery_retries=max_retries,
     )
+    for attach in observers:
+        attach(executor)
     result = RunResult(task.spec.abbr, planner_name, budget_bytes)
     for i, batch in enumerate(task.loader):
         if max_iterations is not None and i >= max_iterations:

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.core.collector import ShuttlingCollector
 from repro.core.estimator import LightningMemoryEstimator
 from repro.core.estimators import make_regressor
@@ -76,10 +74,26 @@ def table3_rows(
         if budget < lb * 1.05:  # OD tasks cannot fit a 6 GB budget
             budget = int(lb * 1.15)
         result = run_task(task, "mimose", budget)
-        collects = [s for s in result.iterations if s.mode == "collect"]
-        responsive = [s for s in result.iterations if s.mode != "collect"]
+        collects = [s for s in result.iterations if s.is_collect]
+        responsive = [s for s in result.iterations if not s.is_collect]
         collector_time = sum(s.collect_time for s in collects)
-        plan_times = [s.planning_time for s in responsive if s.planning_time > 0]
+        # Two kinds of planning_time are *not* steady-state per-plan
+        # estimator/scheduler cost and are excluded from the min/max
+        # columns (the quantity the paper bounds at 0.26-1.25 ms and the
+        # bench gates below 10 ms):
+        #  * the first responsive iteration carries the one-time estimator
+        #    fit (MimosePlanner fits lazily inside plan()) — wall-clock
+        #    proportional to model size and host speed, reported
+        #    separately as fit_ms;
+        #  * recovered iterations (retries > 0) carry the simulated time
+        #    burnt on their OOM'd attempts, folded into planning_time by
+        #    the executor's recovery accounting.
+        fit_ms = 1e3 * responsive[0].planning_time if responsive else 0.0
+        plan_times = [
+            s.planning_time
+            for s in responsive[1:]
+            if s.planning_time > 0 and s.retries == 0
+        ]
         mean_iter = result.mean_iteration_time()
         # Mimose's own overhead: the shuttling double-forwards plus the
         # estimator/scheduler planning time.  (Recompute is the price of
@@ -93,6 +107,7 @@ def table3_rows(
                 "mean_iter_ms": 1e3 * mean_iter,
                 "collector_ms": 1e3 * collector_time,
                 "collector_iters": len(collects),
+                "fit_ms": fit_ms,
                 "estimator_scheduler_ms_min": 1e3 * min(plan_times, default=0.0),
                 "estimator_scheduler_ms_max": 1e3 * max(plan_times, default=0.0),
                 "plans_generated": sum(

@@ -96,7 +96,13 @@ class CheckpointPlan:
 
 
 class ExecutionMode(enum.Enum):
-    """How the executor should run the iteration."""
+    """How the executor should run the iteration.
+
+    The mode selects an :class:`~repro.engine.strategies.ExecutionStrategy`
+    via the strategy registry (``strategy_for(decision)``) — the executor
+    itself never branches on it.  New modes are added by registering a
+    strategy class (``@register_strategy``), not by editing the executor.
+    """
 
     NORMAL = "normal"
     #: Mimose sheltered execution: shuttling double-forward on every
@@ -118,6 +124,11 @@ class PlanDecision:
     ``recovery_mode`` is non-empty only for decisions produced by
     :meth:`Planner.recover` and names the escalation rung taken
     (e.g. ``"replan"``, ``"widen-reserve"``, ``"full-checkpoint"``).
+
+    The decision is the whole interface between planner and executor:
+    ``mode`` picks the execution strategy, ``plan`` parameterises it, and
+    ``recovery_mode`` additionally disqualifies the iteration from the
+    replay cache (recovery rungs mutate planner state).
     """
 
     plan: CheckpointPlan

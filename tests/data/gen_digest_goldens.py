@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Regenerate the digest-parity goldens (tests/data/digest_parity.json).
+
+The goldens pin ``RunResult.digest`` for a grid of (task, planner,
+budget, faults) runs.  They were captured from the pre-refactor seed
+executor and must stay bit-identical across any behaviour-preserving
+refactor of the execution engine.  Only regenerate them for an
+*intentional* behaviour change, and say so in the commit message.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/gen_digest_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from helpers_digest_grid import digest_grid, run_grid_point  # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "digest_parity.json"
+
+
+def main() -> None:
+    goldens = {}
+    for point in digest_grid():
+        key = "|".join(str(p) for p in point)
+        goldens[key] = run_grid_point(point)
+        print(f"{key}: {goldens[key]}")
+    OUT.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} goldens to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

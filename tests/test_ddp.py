@@ -121,3 +121,26 @@ def test_mimose_under_ddp_trains_within_budget():
     # independent length streams really do produce stragglers
     assert mean_imbalance > 1.02
     assert ddp.mean_step_time > 0
+
+
+def test_subscribe_all_attaches_one_observer_per_rank():
+    from repro.engine.events import IterationStart
+
+    ddp = tiny_ddp(world_size=3)
+    per_rank_counts = {0: 0, 1: 0, 2: 0}
+
+    def factory(rank):
+        def handler(event):
+            if isinstance(event, IterationStart):
+                per_rank_counts[rank] += 1
+        return handler
+
+    tokens = ddp.subscribe_all(factory)
+    assert len(tokens) == 3
+    ddp.step(batches([64, 64, 64]))
+    ddp.step(batches([64, 64, 64]))
+    assert per_rank_counts == {0: 2, 1: 2, 2: 2}
+    for bus, token in tokens:
+        bus.unsubscribe(token)
+    ddp.step(batches([64, 64, 64]))
+    assert per_rank_counts == {0: 2, 1: 2, 2: 2}

@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.estimator import LightningMemoryEstimator
 from repro.core.estimators import DecisionTreeRegressor
-from repro.core.planner import MimosePlanner
 from repro.engine.executor import TrainingExecutor
 from repro.engine.stats import IterationStats, RunResult, summarize_runs
 from repro.engine.trace import MemoryTimeline

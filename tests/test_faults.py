@@ -196,7 +196,6 @@ def test_spike_block_is_released_after_the_iteration():
 
 
 def test_noise_corrupts_collect_measurements():
-    model = make_tiny_model(num_units=4, features=64)
     budget = int(2 * GB)
 
     def collected(faults):

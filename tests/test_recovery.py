@@ -1,7 +1,6 @@
 """Tests for OOM recovery: the planner's escalation ladder and the
 executor's retry loop, including the fault-plan acceptance scenario."""
 
-import pytest
 
 from repro.core.planner import MimosePlanner
 from repro.engine.executor import TrainingExecutor
