@@ -11,12 +11,14 @@ Public entry points:
 * :class:`repro.core.MimosePlanner` — the paper's contribution;
 * :mod:`repro.planners` — the baselines (Sublinear, Checkmate, MONeT, DTR);
 * :class:`repro.engine.TrainingExecutor` — simulated training loop;
-* :mod:`repro.experiments` — tasks, sweeps, and figure/table generators.
+* :mod:`repro.experiments` — tasks, sweeps, and figure/table generators;
+* :mod:`repro.analysis` — ``replint``, the repo's invariant linter.
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "core",
     "data",
     "engine",

@@ -1,0 +1,137 @@
+"""Baseline suppression for grandfathered findings.
+
+The baseline is a committed JSON file listing findings that predate a
+rule (or are deliberate and justified); ``replint`` subtracts them from
+the report so the gate can be adopted on an imperfect tree and then
+*ratcheted* — new findings fail CI, old ones are paid down over time.
+
+Entries are keyed by ``(rule, path, code)`` where ``code`` is the
+stripped source line, **not** the line number: unrelated edits above a
+grandfathered site must not churn the baseline.  ``count`` absorbs
+duplicates of the same line text in one file.  Every entry carries a
+``justification`` string; ``--update-baseline`` writes ``TODO:
+justify`` placeholders, and review is expected to replace them — an
+unexplained suppression is a finding in waiting.
+
+Stale entries (nothing matches them any more) are reported as notes so
+the baseline shrinks as fixes land; they never fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.core import ConfigError, Finding
+
+_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    count: int = 1
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    """Outcome of applying a baseline to a finding list."""
+
+    fresh: list[Finding]
+    suppressed: list[Finding]
+    stale: list[BaselineEntry]
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    if not path.is_file():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"unreadable baseline {path}: {exc}") from exc
+    if data.get("version") != _VERSION:
+        raise ConfigError(
+            f"baseline {path}: unsupported version {data.get('version')!r}"
+        )
+    entries = []
+    for raw in data.get("suppressions", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    code=raw["code"],
+                    count=int(raw.get("count", 1)),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        except KeyError as exc:
+            raise ConfigError(
+                f"baseline {path}: entry missing key {exc}"
+            ) from exc
+    return entries
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Iterable[BaselineEntry]
+) -> BaselineResult:
+    """Split findings into fresh vs baseline-suppressed, flag stale entries."""
+    budget: Counter = Counter()
+    by_key: dict[tuple[str, str, str], BaselineEntry] = {}
+    for entry in entries:
+        budget[entry.key()] += entry.count
+        by_key[entry.key()] = entry
+    fresh: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.code)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed.append(finding)
+        else:
+            fresh.append(finding)
+    stale = [
+        by_key[key] for key, left in budget.items() if left > 0
+    ]
+    return BaselineResult(fresh=fresh, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    previous: Optional[Iterable[BaselineEntry]] = None,
+) -> int:
+    """Regenerate the baseline from the current findings.
+
+    Justifications of surviving entries are preserved; new entries get a
+    ``TODO: justify`` placeholder that review is expected to replace.
+    Returns the number of entries written.
+    """
+    keep = {e.key(): e.justification for e in previous or ()}
+    counts: Counter = Counter(
+        (f.rule, f.path, f.code) for f in findings
+    )
+    suppressions = [
+        {
+            "rule": rule,
+            "path": file_path,
+            "code": code,
+            "count": count,
+            "justification": keep.get(
+                (rule, file_path, code), "TODO: justify"
+            ),
+        }
+        for (rule, file_path, code), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "suppressions": suppressions}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(suppressions)

@@ -1,0 +1,73 @@
+"""Text and JSON renderers for replint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.core import Finding, Rule
+
+
+def render_text(
+    findings: Iterable[Finding],
+    suppressed_count: int = 0,
+    stale: Iterable[BaselineEntry] = (),
+) -> str:
+    """ruff-style ``path:line:col rule severity: message`` lines."""
+    lines = []
+    errors = warnings = 0
+    for f in findings:
+        if f.severity == "error":
+            errors += 1
+        else:
+            warnings += 1
+        lines.append(
+            f"{f.location()}: {f.rule} {f.severity}: {f.message}"
+        )
+        if f.code:
+            lines.append(f"    {f.code}")
+    for entry in stale:
+        lines.append(
+            f"note: stale baseline entry {entry.rule} @ {entry.path} "
+            f"({entry.code!r}) — remove it"
+        )
+    summary = f"replint: {errors} error(s), {warnings} warning(s)"
+    if suppressed_count:
+        summary += f", {suppressed_count} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding],
+    suppressed: Iterable[Finding] = (),
+    stale: Iterable[BaselineEntry] = (),
+) -> str:
+    findings = list(findings)
+    suppressed = list(suppressed)
+    payload = {
+        "version": 1,
+        "findings": [f.to_json() for f in findings],
+        "suppressed": [f.to_json() for f in suppressed],
+        "stale_baseline_entries": [
+            {"rule": e.rule, "path": e.path, "code": e.code}
+            for e in stale
+        ],
+        "summary": {
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(
+                1 for f in findings if f.severity == "warning"
+            ),
+            "baselined": len(suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list(rules: Iterable[type[Rule]]) -> str:
+    lines = []
+    for cls in rules:
+        lines.append(f"{cls.id} [{cls.default_severity}]")
+        lines.append(f"    {cls.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""RPL004 ``event-bus-protocol`` — bus payloads and observers keep contract.
+
+The digest-parity suite asserts that attaching observers changes
+nothing, which only holds if (a) events are immutable values — a
+handler that mutates a shared event corrupts every later subscriber in
+delivery order — and (b) hot-path events nobody subscribed to are never
+constructed (``EventBus.wants``), so observer presence cannot shift the
+allocation/GC profile of a run.  This rule pins both halves of the
+contract from docs/architecture.md ("Event bus"):
+
+* **frozen events** — every class that is published on a bus
+  (constructed directly inside ``*.emit(...)``) or subscribed to by
+  type (``*.subscribe(handler, T, ...)`` / ``*.wants(T)``) must be
+  declared ``@dataclass(frozen=True, slots=True)``.  Collection is
+  project-wide: events are defined in ``engine/events.py`` but emitted
+  from the strategies and the executor.
+* **callable observers** — a class exposing the ``attach(bus)``
+  convention (its body calls ``.subscribe``) must define ``__call__``;
+  the bus invokes subscribers directly.
+* **guarded hot-path emits** — emits of the opt-in per-tensor event
+  types listed in ``guarded-events`` (default: ``TensorAlloc``,
+  ``SwapIn``, ``ReplayHit``) must sit inside an ``if ...wants(T)``
+  guard so that a subscriber-free run pays one dict lookup, not an
+  object construction, per event.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    ParentMap,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+
+def _call_attr(node: ast.Call) -> str:
+    """The attribute name of a method call (``bus.emit`` → ``"emit"``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _dataclass_decorator(cls: ast.ClassDef):
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = dotted_name(target)
+        if dotted is not None and dotted.split(".")[-1] == "dataclass":
+            return deco
+    return None
+
+
+@register_rule
+class EventBusProtocolRule(Rule):
+    id = "event-bus-protocol"
+    summary = (
+        "published events must be frozen slotted dataclasses, observers "
+        "callable, and hot-path emits guarded by bus.wants()"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.guarded_events: tuple[str, ...] = (
+            "TensorAlloc",
+            "SwapIn",
+            "ReplayHit",
+        )
+        #: names seen constructed inside ``.emit(...)`` or passed as type
+        #: filters to ``.subscribe``/``.wants`` anywhere in the project
+        self._event_names: set[str] = set()
+
+    def configure(self, options) -> None:
+        super().configure(options)
+        guarded = options.get("guarded-events")
+        if guarded is not None:
+            self.guarded_events = tuple(str(g) for g in guarded)
+
+    # ------------------------------------------------------------- pass 1
+
+    def collect(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _call_attr(node)
+            if attr == "emit" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Call):
+                    name = dotted_name(arg.func)
+                    if name is not None:
+                        self._event_names.add(name.split(".")[-1])
+            elif attr == "subscribe" and len(node.args) > 1:
+                for type_arg in node.args[1:]:
+                    name = dotted_name(type_arg)
+                    if name is not None:
+                        self._event_names.add(name.split(".")[-1])
+            elif attr == "wants" and node.args:
+                name = dotted_name(node.args[0])
+                if name is not None:
+                    self._event_names.add(name.split(".")[-1])
+
+    # ------------------------------------------------------------- pass 2
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_event_classes(ctx)
+        yield from self._check_observers(ctx)
+        yield from self._check_guarded_emits(ctx)
+
+    def _check_event_classes(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in self._event_names:
+                continue
+            deco = _dataclass_decorator(node)
+            if deco is None:
+                yield self.finding(
+                    ctx, node,
+                    f"event class {node.name} is published on the bus but "
+                    "is not a dataclass; declare it "
+                    "@dataclass(frozen=True, slots=True)",
+                )
+                continue
+            kwargs = (
+                {k.arg: k.value for k in deco.keywords}
+                if isinstance(deco, ast.Call)
+                else {}
+            )
+            for flag in ("frozen", "slots"):
+                value = kwargs.get(flag)
+                if not (
+                    isinstance(value, ast.Constant) and value.value is True
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"event class {node.name} must be declared "
+                        f"@dataclass({flag}=True): handlers run in "
+                        "subscription order and must see identical, "
+                        "immutable payloads",
+                    )
+
+    def _check_observers(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                m.name: m
+                for m in node.body
+                if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            attach = methods.get("attach")
+            if attach is None:
+                continue
+            subscribes = any(
+                isinstance(sub, ast.Call) and _call_attr(sub) == "subscribe"
+                for sub in ast.walk(attach)
+            )
+            if subscribes and "__call__" not in methods:
+                yield self.finding(
+                    ctx, node,
+                    f"observer {node.name} subscribes itself in attach() "
+                    "but defines no __call__; the bus invokes subscribers "
+                    "directly",
+                )
+
+    def _check_guarded_emits(self, ctx: FileContext) -> Iterable[Finding]:
+        guarded = set(self.guarded_events)
+        if not guarded:
+            return
+        parents = None
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _call_attr(node) == "emit"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+            ):
+                continue
+            name = dotted_name(node.args[0].func)
+            if name is None or name.split(".")[-1] not in guarded:
+                continue
+            event = name.split(".")[-1]
+            if parents is None:
+                parents = ParentMap.build(ctx.tree)
+            if not self._wants_guard(node, event, parents):
+                yield self.finding(
+                    ctx, node,
+                    f"hot-path event {event} emitted without a "
+                    f"bus.wants({event}) guard; construct opt-in events "
+                    "only when someone is listening",
+                )
+
+    @staticmethod
+    def _wants_guard(
+        node: ast.Call, event: str, parents: ParentMap
+    ) -> bool:
+        for ancestor in parents.ancestors(node):
+            if not isinstance(ancestor, ast.If):
+                continue
+            for sub in ast.walk(ancestor.test):
+                if (
+                    isinstance(sub, ast.Call)
+                    and _call_attr(sub) == "wants"
+                    and sub.args
+                ):
+                    arg = dotted_name(sub.args[0])
+                    if arg is not None and arg.split(".")[-1] == event:
+                        return True
+        return False

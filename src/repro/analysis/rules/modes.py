@@ -1,0 +1,104 @@
+"""RPL003 ``mode-branching`` — execution-mode dispatch stays in the registry.
+
+The whole point of the strategy refactor (docs/architecture.md) is that
+``PlanDecision.mode`` selects behaviour through *one* indirection —
+``strategy_for(decision)`` — so a new execution mode is a registered
+class, not a grep for every ``if mode == ...`` in the tree.  Any mode
+comparison outside ``engine/strategies.py`` quietly reintroduces the
+monolithic executor this repo just removed, and is exactly the code a
+new ``register_strategy`` backend cannot reach.
+
+Flagged:
+
+* comparisons (``==``/``!=``/``is``/``in``) where either side references
+  ``ExecutionMode.<MEMBER>``, and ``match`` statements whose cases
+  pattern-match ``ExecutionMode`` members;
+* comparisons of a ``mode`` name/attribute against the mode *string*
+  values (``"normal"``/``"collect"``/``"reactive"``) — stats rows carry
+  ``mode`` as a string, and string-branching is the same architectural
+  leak with the enum laundered out.
+
+Not flagged: constructing decisions (``PlanDecision(mode=ExecutionMode
+.COLLECT)``), registry subscripts (``_STRATEGIES[decision.mode]``), and
+reading ``mode.value``.  ``IterationStats.is_collect`` is the sanctioned
+presentation helper — its home (``engine/stats.py``) is allowlisted in
+``[tool.replint.rules.mode-branching]``; consumers use the property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, register_rule
+
+
+def _references_execution_mode(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        dotted = dotted_name(sub)
+        if dotted is not None and (
+            dotted == "ExecutionMode" or ".ExecutionMode" in f".{dotted}"
+        ):
+            return True
+    return False
+
+
+def _is_mode_expr(node: ast.AST) -> bool:
+    """Whether this expression names a ``mode`` (``stats.mode``, ``mode``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "mode" or node.attr.endswith("_mode")
+    if isinstance(node, ast.Name):
+        return node.id == "mode" or node.id.endswith("_mode")
+    return False
+
+
+@register_rule
+class ModeBranchingRule(Rule):
+    id = "mode-branching"
+    summary = (
+        "ExecutionMode comparisons/match statements are banned outside the "
+        "strategy registry; dispatch via register_strategy instead"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: string values of the enum members (kept in config so a new
+        #: mode's value extends the rule without a code change)
+        self.mode_strings: tuple[str, ...] = ("normal", "collect", "reactive")
+
+    def configure(self, options) -> None:
+        super().configure(options)
+        strings = options.get("mode-strings")
+        if strings is not None:
+            self.mode_strings = tuple(str(s) for s in strings)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if any(_references_execution_mode(s) for s in sides):
+                    yield self.finding(
+                        ctx, node,
+                        "comparison against ExecutionMode outside the "
+                        "strategy registry; dispatch belongs in a "
+                        "@register_strategy class (strategy_for picks it)",
+                    )
+                    continue
+                if any(_is_mode_expr(s) for s in sides) and any(
+                    isinstance(s, ast.Constant) and s.value in self.mode_strings
+                    for s in sides
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "string comparison against an execution-mode value; "
+                        "use the sanctioned stats helper (e.g. "
+                        "IterationStats.is_collect) or a strategy",
+                    )
+            elif isinstance(node, ast.Match):
+                for case in node.cases:
+                    if _references_execution_mode(case.pattern):
+                        yield self.finding(
+                            ctx, case.pattern,
+                            "match on ExecutionMode outside the strategy "
+                            "registry; register a strategy class instead",
+                        )

@@ -1,0 +1,176 @@
+"""RPL005 ``byte-units`` — no arithmetic that mixes bytes with MB/GB names.
+
+Every capacity in the simulator is an integer byte count (allocator
+blocks, budgets, ``predicted_peak_bytes``); the human-facing layers
+(CLI ``--budget-gb``, figures, tables) carry GB floats.  The two meet
+at explicit conversion sites (``int(budget_gb * GB)``,
+``peak / 1024**3``), and history says the meeting is where the bugs
+live — an un-converted ``budget_gb`` compared against a byte count is
+off by 2**30 and *still runs*, producing plans that look plausible at
+small scales (Checkmate's artifact shipped exactly this class of bug in
+its budget plumbing).
+
+The rule infers a unit from identifier suffixes (``*_bytes``/``nbytes``
+→ bytes, ``*_kb``/``*_mb``/``*_gb`` → that unit) and flags ``+``/``-``
+arithmetic and comparisons whose operands disagree, unless a recognized
+conversion appears in the operand (multiplying or dividing by ``GB``,
+``MB``, ``KB``, ``_MB`` & co. or a power-of-1024 literal neutralizes
+the unit).  Products like ``2 * budget_bytes`` keep their unit;
+``bytes / GB`` is a conversion, not a mix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import FileContext, Finding, Rule, register_rule
+
+_SUFFIXES = (
+    ("_bytes", "bytes"),
+    ("nbytes", "bytes"),
+    ("_kb", "KB"),
+    ("_mb", "MB"),
+    ("_gb", "GB"),
+)
+
+#: conversion-factor values: multiplying/dividing by one of these is an
+#: explicit unit change, which neutralizes inference for that operand
+_FACTOR_VALUES = {
+    1024,
+    1024**2,
+    1024**3,
+    1 << 20,
+    1 << 30,
+    10**6,
+    10**9,
+    1e6,
+    1e9,
+}
+
+_PASSTHROUGH_CALLS = {"int", "float", "abs", "round"}
+
+
+@register_rule
+class ByteUnitsRule(Rule):
+    id = "byte-units"
+    summary = (
+        "additive arithmetic/comparisons must not mix *_bytes values with "
+        "*_mb/*_gb values without an explicit conversion"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: names that are conversion constants (an operand scaled by one
+        #: of these is considered explicitly converted)
+        self.conversion_names: tuple[str, ...] = (
+            "KB", "MB", "GB", "KIB", "MIB", "GIB", "_KB", "_MB", "_GB",
+        )
+
+    def configure(self, options) -> None:
+        super().configure(options)
+        names = options.get("conversion-names")
+        if names is not None:
+            self.conversion_names = tuple(str(n) for n in names)
+
+    # -------------------------------------------------------------- infer
+
+    def _identifier(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _suffix_unit(self, ident: str) -> Optional[str]:
+        lowered = ident.lower()
+        for suffix, unit in _SUFFIXES:
+            if lowered == suffix.lstrip("_") or lowered.endswith(suffix):
+                return unit
+        return None
+
+    def _is_factor(self, node: ast.AST) -> bool:
+        ident = self._identifier(node)
+        if ident is not None and ident in self.conversion_names:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ):
+            return node.value in _FACTOR_VALUES
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Pow, ast.LShift))
+            and isinstance(node.left, ast.Constant)
+            and node.left.value in (2, 1024, 10)
+        ):
+            return True
+        return False
+
+    def _unit_of(self, node: ast.AST) -> Optional[str]:
+        """Best-effort unit of an expression, or None when unknown."""
+        ident = self._identifier(node)
+        if ident is not None:
+            if ident in self.conversion_names:
+                return "bytes"  # GB/MB/... constants *are* byte counts
+            return self._suffix_unit(ident)
+        if isinstance(node, ast.Call):
+            fn = self._identifier(node.func)
+            if fn in _PASSTHROUGH_CALLS and len(node.args) == 1:
+                return self._unit_of(node.args[0])
+            if fn in ("min", "max", "sum") and node.args:
+                units = {self._unit_of(a) for a in node.args}
+                units.discard(None)
+                return units.pop() if len(units) == 1 else None
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+                # an explicit conversion factor neutralizes the unit
+                if self._is_factor(node.left) or self._is_factor(node.right):
+                    return None
+                left = self._unit_of(node.left)
+                right = self._unit_of(node.right)
+                if left and right:
+                    return None  # bytes*bytes etc.: not a capacity anymore
+                return left or right
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self._unit_of(node.left)
+                right = self._unit_of(node.right)
+                if left == right:
+                    return left
+                return None
+        if isinstance(node, ast.UnaryOp):
+            return self._unit_of(node.operand)
+        return None
+
+    # -------------------------------------------------------------- check
+
+    def _mixed(self, units: list[Optional[str]]) -> bool:
+        known = {u for u in units if u is not None}
+        return "bytes" in known and len(known) > 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                units = [self._unit_of(node.left), self._unit_of(node.right)]
+                if self._mixed(units):
+                    yield self.finding(
+                        ctx, node,
+                        f"arithmetic mixes {units[0]} and {units[1]} "
+                        "operands without an explicit conversion "
+                        "(multiply/divide by GB/MB/KB first)",
+                    )
+            elif isinstance(node, ast.Compare) and all(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+                for op in node.ops
+            ):
+                sides = [node.left, *node.comparators]
+                units = [self._unit_of(s) for s in sides]
+                if self._mixed(units):
+                    known = sorted(u for u in units if u is not None)
+                    yield self.finding(
+                        ctx, node,
+                        f"comparison mixes units {known} without an "
+                        "explicit conversion; convert both sides to bytes",
+                    )

@@ -1,0 +1,91 @@
+"""RPL002 ``wall-clock`` — host time never reaches the simulated world.
+
+Everything that feeds ``RunResult.digest`` must be a pure function of
+the seeds and the simulated :class:`~repro.tensorsim.clock.SimClock`;
+the digest deliberately *excludes* wall-clock ``planning_time`` so that
+goldens survive machine-speed changes (see docs/architecture.md,
+"Invariants the pipeline preserves").  A stray ``time.time()`` or
+``perf_counter()`` anywhere else leaks host timing into simulated
+state and breaks replay/digest parity only on machines fast or slow
+enough to notice — the worst kind of flake.
+
+The sanctioned measurement sites (the estimator's fit/predict latency
+and the planner's ``planning_time`` stopwatch, which are *genuine*
+planner costs on the real system's critical path) are exempted through
+the rule's ``allow`` path globs in ``[tool.replint.rules.wall-clock]``,
+so a new wall-clock read anywhere else is an error until it is either
+moved behind the clock or explicitly allowlisted in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, register_rule
+
+#: functions of the stdlib ``time`` module that read host time
+_TIME_FNS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+    "localtime",
+    "gmtime",
+}
+#: ``datetime`` constructors that read host time
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "wall-clock"
+    summary = (
+        "host wall-clock reads (time.time/perf_counter/datetime.now) are "
+        "banned outside the allowlisted planner-overhead stopwatch sites"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        time_aliases = {"time"}
+        from_imports: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FNS:
+                        from_imports.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            root, _, fn = dotted.rpartition(".")
+            if (root in time_aliases and fn in _TIME_FNS) or (
+                not root and fn in from_imports
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read `{dotted}(...)`: host time must not "
+                    "reach digest-bearing state; use the simulated clock, "
+                    "or allowlist this file if it measures genuine planner "
+                    "overhead",
+                )
+            elif fn in _DATETIME_FNS and root.split(".")[-1] in (
+                "datetime",
+                "date",
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read `{dotted}(...)`: host time must not "
+                    "reach digest-bearing state",
+                )

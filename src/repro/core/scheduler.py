@@ -152,7 +152,7 @@ class KnapsackScheduler(Scheduler):
             return frozenset(units)  # even everything falls short; drop all
         # rows[i][c] = min time to cover >= c quanta using the first i units
         inf = float("inf")
-        rows: list[list[float]] = [[0.0] + [inf] * need]
+        rows: list[list[float]] = [[0.0, *([inf] * need)]]
         for u in units:
             w, t = sizes[u], times[u]
             prev = rows[-1]

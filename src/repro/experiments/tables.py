@@ -162,7 +162,7 @@ def _collect_samples(
         if seen >= num_sizes:
             break
         stats = executor.step(batch)
-        if stats.mode == "collect":
+        if stats.is_collect:
             seen += 1
     # Held-out truth from analytic per-unit saved bytes at unseen sizes
     from repro.planners.analysis import unit_saved_bytes

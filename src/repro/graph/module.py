@@ -113,7 +113,7 @@ class ProfileContext:
     def _absorb(self, op: Op, profile: OpProfile, name: str) -> None:
         self._counter += 1
         label = name or f"{type(op).__name__.lower()}_{self._counter}"
-        full = "/".join(self._scope + [label])
+        full = "/".join([*self._scope, label])
         self.fwd_flops += profile.flops
         self.fwd_bytes += profile.bytes_moved
         self.bwd_flops += profile.bwd_flops

@@ -216,7 +216,7 @@ class Planner:
     def plan(self, batch: BatchInput) -> PlanDecision:
         raise NotImplementedError
 
-    def observe(self, stats: "IterationStats") -> None:  # noqa: B027
+    def observe(self, stats: "IterationStats") -> None:
         """Called after each iteration with the measured stats."""
 
     # -------------------------------------------------------------- recovery

@@ -135,7 +135,7 @@ def test_no_coalescing_keeps_fragments():
 def test_fragmentation_metric():
     alloc = CachingAllocator(1024 * MB)
     keep = []
-    for i in range(10):
+    for _ in range(10):
         a = alloc.malloc(2 * MB)
         b = alloc.malloc(2 * MB)
         keep.append(b)
