@@ -14,8 +14,10 @@ from repro.core.plan_cache import PlanCache
 from repro.core.scheduler import GreedyScheduler, SchedulerInput
 from repro.engine.stats import UnitMeasurement
 from repro.planners.base import CheckpointPlan
+from repro.tensorsim.allocator import CachingAllocator
 
 MB = 1 << 20
+GB = 1 << 30
 
 
 def _collector(num_units=12, num_sizes=10):
@@ -63,6 +65,35 @@ def bench_plan_cache_lookup(benchmark):
         cache.put(s, CheckpointPlan(frozenset({"enc.0"}), str(s)))
     result = benchmark(cache.get, 32_000)
     assert result is not None
+
+
+def bench_allocator_10k_live_blocks(benchmark):
+    """malloc/free churn against a heap holding >10k live blocks.
+
+    Long-context transformer iterations keep every per-token activation
+    alive until backward, so the allocator's free-list scan runs against
+    a densely populated heap.  The scenario pins the steady-state churn
+    cost (allocate/free a mid-sized block) from staying flat as the
+    live-block population grows.
+    """
+    rng = np.random.default_rng(0)
+    alloc = CachingAllocator(64 * GB)
+    live = []
+    for i, nbytes in enumerate(rng.integers(16 * 1024, 4 * MB, 14_000)):
+        block = alloc.malloc(int(nbytes), owner=f"act.{i}")
+        if i % 7 == 6:
+            alloc.free(block)
+        else:
+            live.append(block)
+    assert len(live) > 10_000
+
+    def churn():
+        for _ in range(32):
+            block = alloc.malloc(512 * 1024, owner="churn")
+            alloc.free(block)
+
+    benchmark(churn)
+    assert alloc.stats.num_allocs == alloc.stats.num_frees + len(live)
 
 
 def bench_end_to_end_plan_generation(benchmark):

@@ -13,3 +13,7 @@ def bench_table1_capabilities(benchmark, results_dir):
     by_name = {r["planner"]: r for r in rows}
     assert by_name["mimose"]["dynamic_input"] and by_name["dtr"]["dynamic_input"]
     assert not by_name["sublinear"]["dynamic_input"]
+    # hybrid Mimose keeps input-awareness and gains Capuchin's swapping
+    assert by_name["mimose-hybrid"]["swapping"]
+    assert by_name["mimose-hybrid"]["dynamic_input"]
+    assert not by_name["mimose"]["swapping"]

@@ -14,7 +14,12 @@ import argparse
 import sys
 
 from repro.experiments.report import render_table
-from repro.experiments.runner import PLANNER_NAMES, run_task, sweep
+from repro.experiments.runner import (
+    PLANNER_NAMES,
+    SCHEDULER_NAMES,
+    run_task,
+    sweep,
+)
 from repro.experiments.tasks import GB, TASKS, load_task
 from repro.tensorsim.faults import FaultPlan
 
@@ -102,6 +107,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         counter = EventCounter()
         observers.append(lambda ex: counter.attach(ex.events))
+    scheduler = args.scheduler if args.scheduler != "greedy" else None
+    if scheduler is not None and args.planner != "mimose":
+        raise SystemExit(
+            f"error: --scheduler {scheduler} applies to --planner mimose "
+            f"only, not {args.planner!r}"
+        )
     is_baseline_run = args.planner == "baseline" and faults is None
     baseline = run_task(
         task,
@@ -121,6 +132,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
             max_retries=args.max_retries,
             observers=observers,
+            scheduler=scheduler,
         )
     )
     breakdown = result.time_breakdown()
@@ -226,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--task", choices=sorted(TASKS), required=True)
     run_p.add_argument("--planner", choices=PLANNER_NAMES, default="mimose")
     run_p.add_argument("--budget-gb", type=float, required=True)
+    run_p.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default="greedy",
+        help=(
+            "scheduling strategy for mimose's excess-covering step "
+            "('hybrid' mixes per-unit RECOMPUTE/SWAP via the PCIe cost "
+            "model; mimose only)"
+        ),
+    )
     run_p.add_argument("--iterations", type=int, default=60)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(

@@ -18,6 +18,7 @@ same way::
 
 from repro.analysis.rules.eventbus import EventBusProtocolRule
 from repro.analysis.rules.modes import ModeBranchingRule
+from repro.analysis.rules.planmembership import PlanMembershipRule
 from repro.analysis.rules.rng import RngDisciplineRule
 from repro.analysis.rules.units import ByteUnitsRule
 from repro.analysis.rules.wallclock import WallClockRule
@@ -26,6 +27,7 @@ __all__ = [
     "ByteUnitsRule",
     "EventBusProtocolRule",
     "ModeBranchingRule",
+    "PlanMembershipRule",
     "RngDisciplineRule",
     "WallClockRule",
 ]

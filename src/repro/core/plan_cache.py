@@ -10,6 +10,14 @@ Plans are indexed by input size.  Two lookups succeed:
   smaller input could overflow the budget on a larger one).
 
 The cache is bounded LRU to keep lookups O(log n) over a sorted key list.
+
+Stored plans are *interned* on their canonical identity — the
+:class:`~repro.planners.base.ActionAssignment` (plus label and
+prediction) that plan equality and hashing are defined over — so two
+input sizes whose planning converged on the same per-unit actions share
+one plan object.  Downstream consumers keyed on the plan (the replay
+cache, strategy dispatch) then see one canonical instance instead of
+N structurally equal copies.
 """
 
 from __future__ import annotations
@@ -39,6 +47,10 @@ class PlanCache:
         self.max_entries = max_entries
         self._plans: OrderedDict[int, CheckpointPlan] = OrderedDict()
         self._sizes: list[int] = []  # sorted keys, kept in sync with _plans
+        # canonical-instance pool: plan equality/hash is defined over the
+        # (assignment, label, prediction) triple, so structurally equal
+        # plans collapse to the first instance stored
+        self._canon: dict[CheckpointPlan, CheckpointPlan] = {}
         self.hits = 0
         self.misses = 0
 
@@ -69,6 +81,7 @@ class PlanCache:
         """Insert (or refresh) a plan for an input size."""
         if input_size <= 0:
             raise ValueError("input_size must be positive")
+        plan = self._intern(plan)
         if input_size in self._plans:
             self._plans[input_size] = plan
             self._plans.move_to_end(input_size)
@@ -78,6 +91,18 @@ class PlanCache:
         if len(self._plans) > self.max_entries:
             evicted, _ = self._plans.popitem(last=False)
             self._sizes.remove(evicted)
+
+    def _intern(self, plan: CheckpointPlan) -> CheckpointPlan:
+        """Collapse structurally equal plans to one canonical instance.
+
+        The pool can accumulate entries for plans that have since been
+        evicted; it is rebuilt from the live plans when it outgrows the
+        LRU capacity by 4x, keeping it bounded without per-eviction
+        refcounting.
+        """
+        if len(self._canon) > 4 * self.max_entries:
+            self._canon = {p: p for p in self._plans.values()}
+        return self._canon.setdefault(plan, plan)
 
     # ----------------------------------------------------------------- stats
 
@@ -89,5 +114,6 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
         self._sizes.clear()
+        self._canon.clear()
         self.hits = 0
         self.misses = 0

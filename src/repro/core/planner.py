@@ -212,7 +212,7 @@ class MimosePlanner(Planner):
                 frozenset(), "mimose", predicted_peak_bytes=total
             )
         est_time = self.estimator.predict_all_times(size)
-        chosen = self.scheduler.schedule(
+        assignment = self.scheduler.assign(
             SchedulerInput(
                 est_bytes=est,
                 order=self._order,
@@ -223,10 +223,12 @@ class MimosePlanner(Planner):
         # The prediction travels with the plan (through the cache and into
         # the iteration stats) so residual tracking attributes every
         # observation to the plan that produced it — cache hits included.
-        return CheckpointPlan(
-            chosen,
+        # Every non-KEEP unit releases its estimated bytes (recomputed
+        # units immediately, swapped units once the copy engine drains).
+        return CheckpointPlan.from_assignment(
+            assignment,
             "mimose",
-            predicted_peak_bytes=total - sum(est[u] for u in chosen),
+            predicted_peak_bytes=total - sum(est[u] for u in assignment.units),
         )
 
     # --------------------------------------------------------------- observe

@@ -16,13 +16,26 @@ A pluggable :class:`Scheduler` interface is kept, as the paper promises
 ("Mimose still reserves a flexible interface for users to experiment with
 other scheduling algorithms"); :class:`KnapsackScheduler` is the
 Knapsack-style alternative it mentions.
+
+Schedulers answer in the per-unit action vocabulary (:class:`~repro
+.planners.base.ActionAssignment`): :meth:`Scheduler.assign` is the
+general interface, and the classic recompute-only algorithms keep their
+``schedule`` entry point, wrapped by the default ``assign`` as an
+all-RECOMPUTE assignment.  :class:`HybridGreedyScheduler` prices
+RECOMPUTE against SWAP per unit through a pluggable :class:`CostModel`
+(Capuchin's rule, shared with :mod:`repro.planners.capuchin`), which is
+what lets ``MimosePlanner`` emit input-aware hybrid plans
+(``repro run --scheduler hybrid``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional, Protocol
+
+from repro.planners.base import ActionAssignment
+from repro.tensorsim.device import DeviceModel
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,21 +48,136 @@ class SchedulerInput:
         excess_bytes: estimated bytes beyond the usable budget that the
             plan must release.
         est_time: optional estimated forward (recompute) seconds per unit.
+        bwd_time: optional estimated backward seconds per unit (cost
+            models derive the swap overlap window from it; absent for
+            Mimose, whose collector only measures forwards).
     """
 
     est_bytes: Mapping[str, int]
     order: Mapping[str, int]
     excess_bytes: int
     est_time: Mapping[str, float] | None = None
+    bwd_time: Mapping[str, float] | None = None
+
+
+class CostModel(Protocol):
+    """Prices each :class:`~repro.planners.base.MemoryAction` per unit.
+
+    Implementations read the estimates carried by a
+    :class:`SchedulerInput` and a device model; they never touch planner
+    state, so one instance can be shared between planners (Capuchin and
+    hybrid Mimose price actions through the same object).
+    """
+
+    def recompute_cost(self, unit: str, inp: SchedulerInput) -> float:
+        """Seconds to rematerialise the unit (its forward time)."""
+        ...
+
+    def swap_cost(self, unit: str, inp: SchedulerInput) -> float:
+        """Stall seconds swapping costs beyond the backward overlap."""
+        ...
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Raw PCIe transfer seconds for one unit's activations."""
+        ...
+
+    def overlap_window(self, inp: SchedulerInput) -> float:
+        """Backward compute a transfer can hide under, seconds."""
+        ...
+
+    def transfer_envelope(self, inp: SchedulerInput) -> float:
+        """Aggregate transfer budget for the whole plan, seconds."""
+        ...
+
+
+class PcieCostModel:
+    """Capuchin's swap/recompute pricing rule (Peng et al., ASPLOS 2020).
+
+    ``swap_cost(u) = max(0, transfer_time(bytes_u) - overlap_window)``
+    against ``recompute_cost(u) = forward_time(u)``, plus an aggregate
+    envelope — swap-outs serialise on one copy engine and must complete
+    roughly within the forward pass, so transfers beyond
+    ``envelope_fraction`` of the total forward time never finish before
+    their backward (the paper's §II observation that PCIe cannot keep up
+    with activation production).
+
+    The overlap window is the mean per-unit backward time when the input
+    carries measured backwards (Capuchin's measured execution); otherwise
+    it falls back to ``bwd_ratio`` × the mean estimated forward time —
+    the standard backward ≈ 2× forward rule — which is what Mimose's
+    forward-only measurements provide.
+
+    Args:
+        device: device model used to price PCIe transfers.
+        pcie_bandwidth: host link bandwidth (bytes/s); ``None`` prices
+            transfers at the device preset's own link speed.
+        bwd_ratio: backward/forward time ratio assumed when ``bwd_time``
+            is absent from the input.
+        envelope_fraction: fraction of total forward time available to
+            the copy engine.
+    """
+
+    def __init__(
+        self,
+        device: Optional[DeviceModel] = None,
+        *,
+        pcie_bandwidth: Optional[float] = None,
+        bwd_ratio: float = 2.0,
+        envelope_fraction: float = 0.8,
+    ) -> None:
+        self.device = device if device is not None else DeviceModel()
+        self.pcie_bandwidth = pcie_bandwidth
+        self.bwd_ratio = bwd_ratio
+        self.envelope_fraction = envelope_fraction
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.device.transfer_time(
+            nbytes, pcie_bandwidth=self.pcie_bandwidth
+        )
+
+    def recompute_cost(self, unit: str, inp: SchedulerInput) -> float:
+        if inp.est_time is None:
+            # No time information: recompute is assumed free, so swapping
+            # (whose stall is never negative) is never preferred.
+            return 0.0
+        return inp.est_time[unit]
+
+    def overlap_window(self, inp: SchedulerInput) -> float:
+        if inp.bwd_time is not None:
+            bwd = list(inp.bwd_time.values())
+            return sum(bwd) / max(len(bwd), 1)
+        if inp.est_time is None:
+            return 0.0
+        fwd = list(inp.est_time.values())
+        return self.bwd_ratio * (sum(fwd) / max(len(fwd), 1))
+
+    def transfer_envelope(self, inp: SchedulerInput) -> float:
+        if inp.est_time is None:
+            return 0.0
+        return self.envelope_fraction * sum(inp.est_time.values())
+
+    def swap_cost(self, unit: str, inp: SchedulerInput) -> float:
+        transfer = self.transfer_time(inp.est_bytes[unit])
+        return max(0.0, transfer - self.overlap_window(inp))
 
 
 class Scheduler:
-    """Strategy interface: pick the units to checkpoint."""
+    """Strategy interface: assign a memory action per unit.
+
+    ``schedule`` is the classic recompute-only entry point (Algorithm 1's
+    vocabulary); ``assign`` is the general one.  Recompute-only
+    schedulers implement ``schedule`` and inherit the default ``assign``
+    wrapper; action-aware schedulers override ``assign`` directly.
+    """
 
     name = "scheduler"
 
     def schedule(self, inp: SchedulerInput) -> frozenset[str]:
         raise NotImplementedError
+
+    def assign(self, inp: SchedulerInput) -> ActionAssignment:
+        """Default: every scheduled unit is dropped and recomputed."""
+        return ActionAssignment.from_sets(recompute=self.schedule(inp))
 
 
 class GreedyScheduler(Scheduler):
@@ -172,3 +300,62 @@ class KnapsackScheduler(Scheduler):
                 chosen.append(u)
                 c = max(0, c - sizes[u])
         return frozenset(chosen)
+
+
+class HybridGreedyScheduler(Scheduler):
+    """Per-unit swap-vs-recompute greedy over a :class:`CostModel`.
+
+    Capuchin's selection loop, lifted out of the planner so any caller
+    with per-unit byte/time estimates can use it: walk the units largest
+    activations first until the excess is covered, and for each pick the
+    cheaper action — SWAP when its residual stall undercuts the unit's
+    recompute time *and* the cumulative transfer still fits the copy
+    engine's envelope, RECOMPUTE otherwise.  Zero-byte units free
+    nothing and are skipped.
+
+    With :class:`~repro.core.planner.MimosePlanner` driving it
+    (``repro run --scheduler hybrid``), the estimates come from the
+    Lightning estimator per input size, making the swap/recompute split
+    input-aware — the ROADMAP "choose per tensor" item.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = (
+            cost_model if cost_model is not None else PcieCostModel()
+        )
+
+    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
+        """Recompute-only view of :meth:`assign` (legacy callers)."""
+        return self.assign(inp).checkpoint_units
+
+    def assign(self, inp: SchedulerInput) -> ActionAssignment:
+        if inp.excess_bytes <= 0:
+            return ActionAssignment.empty()
+        model = self.cost_model
+        envelope = model.transfer_envelope(inp)
+        drop: set[str] = set()
+        swap: set[str] = set()
+        freed = 0
+        cum_transfer = 0.0
+        for name in sorted(inp.est_bytes, key=lambda n: -inp.est_bytes[n]):
+            if freed >= inp.excess_bytes:
+                break
+            nbytes = inp.est_bytes[name]
+            if nbytes == 0:
+                continue
+            transfer = model.transfer_time(nbytes)
+            fits_bandwidth = cum_transfer + transfer <= envelope
+            cheaper = model.swap_cost(name, inp) < model.recompute_cost(
+                name, inp
+            )
+            if cheaper and fits_bandwidth:
+                swap.add(name)
+                cum_transfer += transfer
+            else:
+                drop.add(name)
+            freed += nbytes
+        return ActionAssignment.from_sets(
+            recompute=frozenset(drop), swap=frozenset(swap)
+        )

@@ -10,8 +10,11 @@ memoizes them.
 An iteration is replayable only when its world is **provably** identical
 to a recorded one.  The proof is the :class:`ReplayKey`:
 
-* the plan decision's execution mode and full :class:`~repro.planners.base
-  .CheckpointPlan` (checkpoint/swap/segment assignments and label);
+* the plan decision's execution mode and the plan's *canonical*
+  :class:`~repro.planners.base.ActionAssignment` (per-unit actions plus
+  segment grouping) together with the plan label and prediction — two
+  decisions whose plans assign the same actions key identically no
+  matter which planner structures built them;
 * the exact batch shape and dtype;
 * the allocator's behavioural :meth:`~repro.tensorsim.allocator
   .CachingAllocator.state_signature` at iteration start (reserved
@@ -119,7 +122,9 @@ class ReplayCache:
         """The iteration-world fingerprint (see module docstring)."""
         return (
             decision.mode,
-            decision.plan,
+            decision.plan.assignment,
+            decision.plan.label,
+            decision.plan.predicted_peak_bytes,
             batch.shape,
             batch.dtype,
             allocator_signature,
@@ -129,7 +134,7 @@ class ReplayCache:
     @staticmethod
     def signature_of(key: tuple) -> tuple:
         """The allocator signature component of a :meth:`key` tuple."""
-        return key[4]
+        return key[6]
 
     def lookup(self, key: tuple) -> Optional[ReplayRecord]:
         record = self._records.get(key)

@@ -215,15 +215,13 @@ class RunResult:
         total = self.replay_hits + self.replay_misses
         return self.replay_hits / total if total else 0.0
 
-    def digest(self) -> str:
-        """Deterministic fingerprint of the run's observable results.
+    def _digest_hasher(self):
+        """The incremental hasher behind :meth:`digest`.
 
-        Hashes every :class:`IterationStats` field *except*
-        ``planning_time``, which is genuine wall-clock measured by the
-        planner and therefore differs between otherwise identical runs.
-        Two runs with equal digests produced bit-identical simulated
-        behaviour — the equality the replay cache and the parallel sweep
-        runner are required to preserve.
+        Yields the hasher after the run header and again after each
+        iteration's record has been fed in.  ``hexdigest()`` does not
+        finalize, so one pass serves both the run-level digest (last
+        yield) and the per-iteration rolling digests (every yield).
         """
         import hashlib
         from dataclasses import fields as dc_fields
@@ -239,7 +237,36 @@ class RunResult:
         ]
         for s in self.iterations:
             h.update(repr([getattr(s, n) for n in names]).encode())
+            yield h
+        if not self.iterations:
+            yield h
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run's observable results.
+
+        Hashes every :class:`IterationStats` field *except*
+        ``planning_time``, which is genuine wall-clock measured by the
+        planner and therefore differs between otherwise identical runs.
+        Two runs with equal digests produced bit-identical simulated
+        behaviour — the equality the replay cache and the parallel sweep
+        runner are required to preserve.
+        """
+        for h in self._digest_hasher():
+            pass
         return h.hexdigest()
+
+    def rolling_digests(self) -> tuple[str, ...]:
+        """Per-iteration prefix digests of the run.
+
+        Entry *i* is the digest of the run truncated after iteration
+        *i* — the last entry equals :meth:`digest` (for a non-empty
+        run).  When two runs diverge, comparing the rolling sequences
+        pinpoints the *first* iteration whose simulated behaviour
+        differed, instead of only reporting that the runs differ.
+        """
+        if not self.iterations:
+            return ()
+        return tuple(h.hexdigest() for h in self._digest_hasher())
 
 
 def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:

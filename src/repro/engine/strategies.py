@@ -59,7 +59,12 @@ from repro.engine.events import (
 )
 from repro.engine.stats import IterationStats, UnitMeasurement
 from repro.graph.module import ModuleProfile
-from repro.planners.base import EvictableGroup, ExecutionMode, PlanDecision
+from repro.planners.base import (
+    EvictableGroup,
+    ExecutionMode,
+    MemoryAction,
+    PlanDecision,
+)
 from repro.tensorsim.allocator import OutOfMemoryError
 from repro.tensorsim.tensor import SimTensor
 
@@ -458,17 +463,22 @@ class NormalStrategy(ExecutionStrategy):
         )
 
     def run_forward(self, ctx: IterationContext) -> None:
-        plan = ctx.decision.plan
+        # One dispatch point: the plan's canonical assignment answers
+        # "what happens to this unit" — no per-structure set-membership.
+        # Non-checkpointable units always KEEP, whatever a plan claims
+        # (plans may legitimately mention them; execution ignores that).
+        assignment = ctx.decision.plan.assignment
         prev_rt: Optional[UnitRuntime] = None
         for unit, prof in zip(ctx.model.units, ctx.profiles):
             ctx.swap.flush(ctx)
             rt = self.open_unit(ctx, unit, prof)
-            in_segment = unit.name in self.seg_of
-            checkpointed = (
-                not in_segment and unit.checkpointable and unit.name in plan
+            action = (
+                assignment.action_for(unit.name)
+                if unit.checkpointable
+                else MemoryAction.KEEP
             )
             self.forward_compute(ctx, rt)
-            if in_segment:
+            if action is MemoryAction.SEGMENT:
                 # segment member: internals drop like a checkpoint, and
                 # the *interior* boundary feeding this unit drops too —
                 # the group recompute will rebuild both
@@ -482,21 +492,21 @@ class NormalStrategy(ExecutionStrategy):
                     and prev_rt.boundary is not None
                 ):
                     prev_rt.boundary.drop(ctx.allocator)
-            elif checkpointed:
+            elif action is MemoryAction.RECOMPUTE:
                 ctx.drop_internals(rt)
                 rt.recompute_needed = True
             else:
                 ctx.free_transients(rt)
                 rt.last_access = ctx.clock.now
-                if (
-                    unit.checkpointable
-                    and unit.name in plan.swap_units
-                    and rt.internals
-                ):
+                if action is MemoryAction.SWAP and rt.internals:
                     # memory is released once the copy engine finishes
                     ctx.swap.schedule_out(ctx, rt)
             prev_rt = rt
-            ctx.emit_unit_forward(rt, checkpointed or in_segment)
+            ctx.emit_unit_forward(
+                rt,
+                action is MemoryAction.RECOMPUTE
+                or action is MemoryAction.SEGMENT,
+            )
 
     def run_backward(self, ctx: IterationContext) -> None:
         bwd_order = list(reversed(ctx.runtimes))

@@ -19,6 +19,13 @@ from dataclasses import replace as _dc_replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.core.planner import MimosePlanner
+from repro.core.scheduler import (
+    GreedyScheduler,
+    HybridGreedyScheduler,
+    KnapsackScheduler,
+    PcieCostModel,
+    Scheduler,
+)
 from repro.engine.executor import TrainingExecutor
 from repro.engine.stats import RunResult
 from repro.engine.trace import MemoryTimeline
@@ -37,13 +44,47 @@ PLANNER_NAMES = (
     "baseline", "sublinear", "checkmate", "monet", "dtr", "capuchin", "mimose"
 )
 
+#: schedulers Mimose's excess-covering step can run with.  "greedy" is the
+#: paper's Algorithm 1 (recompute-only) and the default; "knapsack" is the
+#: 0/1 alternative; "hybrid" prices RECOMPUTE against SWAP per unit with
+#: the shared PCIe cost model and emits mixed-action assignments.
+SCHEDULER_NAMES = ("greedy", "knapsack", "hybrid")
 
-def make_planner(name: str, budget_bytes: int, task: TaskContext) -> Planner:
+
+def make_scheduler(
+    name: str, *, device: Optional[DeviceModel] = None
+) -> Scheduler:
+    """Construct a scheduling strategy by name (``SCHEDULER_NAMES``)."""
+    if name == "greedy":
+        return GreedyScheduler()
+    if name == "knapsack":
+        return KnapsackScheduler()
+    if name == "hybrid":
+        return HybridGreedyScheduler(
+            PcieCostModel(device or DeviceModel(V100))
+        )
+    raise KeyError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
+
+
+def make_planner(
+    name: str,
+    budget_bytes: int,
+    task: TaskContext,
+    *,
+    device: Optional[DeviceModel] = None,
+    scheduler: Optional[str] = None,
+) -> Planner:
     """Construct a planner by name, wired to the task's offline knowledge.
 
     Static planners receive the shapes their papers allow them to know
-    offline; Mimose receives only the budget.
+    offline; Mimose receives only the budget (plus, optionally, a named
+    scheduling strategy for its excess-covering step — the only planner
+    whose scheduler is runtime-pluggable).
     """
+    if scheduler is not None and name != "mimose":
+        raise ValueError(
+            f"--scheduler applies to the mimose planner only, not {name!r}"
+        )
     if name == "baseline":
         return NoCheckpointPlanner(budget_bytes)
     if name == "sublinear":
@@ -65,7 +106,11 @@ def make_planner(name: str, budget_bytes: int, task: TaskContext) -> Planner:
     if name == "capuchin":
         return CapuchinPlanner(budget_bytes)
     if name == "mimose":
-        return MimosePlanner(budget_bytes)
+        if scheduler is None:
+            return MimosePlanner(budget_bytes)
+        return MimosePlanner(
+            budget_bytes, scheduler=make_scheduler(scheduler, device=device)
+        )
     raise KeyError(f"unknown planner {name!r}; available: {PLANNER_NAMES}")
 
 
@@ -80,6 +125,7 @@ def run_task(
     faults: Optional[FaultPlan] = None,
     max_retries: int = 3,
     observers: Sequence[Callable[[TrainingExecutor], None]] = (),
+    scheduler: Optional[str] = None,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -99,10 +145,16 @@ def run_task(
     without reaching into executor internals.  Observers must not change
     simulated behaviour (the bus is observe-only), so the digest contract
     is unaffected.
+
+    ``scheduler`` names one of :data:`SCHEDULER_NAMES` for Mimose's
+    excess-covering step (``--scheduler`` on the CLI); ``None`` keeps the
+    planner's default.  Rejected for non-Mimose planners.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
-    planner = make_planner(planner_name, budget_bytes, task)
+    planner = make_planner(
+        planner_name, budget_bytes, task, device=device, scheduler=scheduler
+    )
     planner.setup(ModelView(model))
     capacity = (
         device.memory_capacity

@@ -18,8 +18,10 @@ Mimose itself lives in :mod:`repro.core`.
 """
 
 from repro.planners.base import (
+    ActionAssignment,
     CheckpointPlan,
     ExecutionMode,
+    MemoryAction,
     ModelView,
     PlanDecision,
     Planner,
@@ -34,8 +36,10 @@ from repro.planners.capuchin import CapuchinPlanner
 from repro.planners.segmented import SegmentedSublinearPlanner
 
 __all__ = [
+    "ActionAssignment",
     "CheckpointPlan",
     "ExecutionMode",
+    "MemoryAction",
     "ModelView",
     "PlanDecision",
     "Planner",

@@ -17,8 +17,8 @@ invoked from inside the allocator when an allocation fails.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from repro.models.base import BatchInput, SegmentedModel, StaticMemory
 
@@ -27,23 +27,166 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.graph.module import ModuleProfile
 
 
+class MemoryAction(enum.Enum):
+    """What happens to one unit's saved activations after its forward.
+
+    The per-unit vocabulary every planner speaks and every execution
+    strategy interprets (docs/architecture.md, "The action layer"):
+
+    * ``KEEP`` — activations stay resident until their backward (the
+      default; also everything a plan does not mention).
+    * ``RECOMPUTE`` — dropped after forward, rematerialised by re-running
+      the unit's forward just before its backward (checkpointing).
+    * ``SWAP`` — offloaded to host memory over PCIe after forward and
+      prefetched back before the backward (the hybrid planners of
+      Table I); memory is released when the copy engine finishes.
+    * ``SEGMENT`` — member of a Chen-et-al. segment: interior boundaries
+      drop too and the backward replays the whole segment front-to-back.
+      Membership is derived from :attr:`ActionAssignment.segments`, never
+      assigned directly, because the *grouping* (which units recompute
+      together) is part of the action.
+    """
+
+    KEEP = "keep"
+    RECOMPUTE = "recompute"
+    SWAP = "swap"
+    SEGMENT = "segment"
+
+
 @dataclass(frozen=True, slots=True)
+class ActionAssignment:
+    """Immutable, canonical mapping of unit name → :class:`MemoryAction`.
+
+    The single source of truth a :class:`CheckpointPlan` is a view over.
+    ``actions`` holds only the non-KEEP, non-SEGMENT entries as a tuple of
+    ``(unit, action)`` pairs sorted by unit name — the *canonical form*,
+    so two assignments describing the same per-unit decisions are equal
+    and hash equal no matter how they were built.  ``segments`` keeps its
+    given group order (the grouping and intra-segment order are semantic:
+    the backward replays each group front-to-back).
+
+    The constructor canonicalises: KEEP entries are dropped, duplicate
+    pairs collapse, and conflicting assignments raise ``ValueError`` with
+    the same messages the legacy three-set plan validation used.  Lookup
+    is O(1) via a private index built once at construction.
+    """
+
+    actions: tuple[tuple[str, MemoryAction], ...] = ()
+    segments: tuple[tuple[str, ...], ...] = ()
+    _index: dict[str, MemoryAction] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        by_unit: dict[str, MemoryAction] = {}
+        both: set[str] = set()
+        for name, action in self.actions:
+            if action is MemoryAction.KEEP:
+                continue
+            if action is MemoryAction.SEGMENT:
+                raise ValueError(
+                    "SEGMENT membership is derived from `segments`; "
+                    f"unit {name!r} cannot be assigned it directly"
+                )
+            prev = by_unit.get(name)
+            if prev is not None and prev is not action:
+                both.add(name)
+            by_unit[name] = action
+        if both:
+            raise ValueError(
+                f"units cannot be both dropped and swapped: {sorted(both)}"
+            )
+        segments = tuple(tuple(seg) for seg in self.segments)
+        for segment in segments:
+            if not segment:
+                raise ValueError("segments must be non-empty")
+            for name in segment:
+                if name in by_unit:
+                    raise ValueError(
+                        f"unit {name!r} has conflicting plan assignments"
+                    )
+                by_unit[name] = MemoryAction.SEGMENT
+        object.__setattr__(
+            self,
+            "actions",
+            tuple(
+                sorted(
+                    (n, a)
+                    for n, a in by_unit.items()
+                    if a is not MemoryAction.SEGMENT
+                )
+            ),
+        )
+        object.__setattr__(self, "segments", segments)
+        self._index.update(by_unit)
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def empty(cls) -> "ActionAssignment":
+        return cls()
+
+    @classmethod
+    def from_sets(
+        cls,
+        *,
+        recompute: Iterable[str] = (),
+        swap: Iterable[str] = (),
+        segments: tuple[tuple[str, ...], ...] = (),
+    ) -> "ActionAssignment":
+        """Build from the legacy three-structure vocabulary."""
+        pairs = [(n, MemoryAction.RECOMPUTE) for n in recompute]
+        pairs += [(n, MemoryAction.SWAP) for n in swap]
+        return cls(tuple(pairs), segments)
+
+    # --------------------------------------------------------------- lookups
+
+    def action_for(self, unit_name: str) -> MemoryAction:
+        """The action assigned to a unit (KEEP when unmentioned)."""
+        return self._index.get(unit_name, MemoryAction.KEEP)
+
+    def units_with(self, action: MemoryAction) -> frozenset[str]:
+        if action is MemoryAction.SEGMENT:
+            return frozenset(n for seg in self.segments for n in seg)
+        return frozenset(n for n, a in self.actions if a is action)
+
+    @property
+    def units(self) -> frozenset[str]:
+        """Every unit with a non-KEEP action."""
+        return frozenset(self._index)
+
+    @property
+    def checkpoint_units(self) -> frozenset[str]:
+        return self.units_with(MemoryAction.RECOMPUTE)
+
+    @property
+    def swap_units(self) -> frozenset[str]:
+        return self.units_with(MemoryAction.SWAP)
+
+    @property
+    def segment_units(self) -> frozenset[str]:
+        return self.units_with(MemoryAction.SEGMENT)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._index
+
+
+@dataclass(frozen=True, slots=True, init=False)
 class CheckpointPlan:
     """Per-unit memory actions for one iteration.
 
-    ``checkpoint_units`` are dropped after forward and recomputed during
-    backward; ``swap_units`` are offloaded to host memory over PCIe after
-    forward and prefetched back before their backward (the hybrid
-    planners of Table I); ``segments`` are *groups* of consecutive units
-    checkpointed together in the original Chen et al. sense — interior
-    boundaries between a segment's units are dropped too (only the
-    segment's input and output survive the forward), and the backward
-    recomputes the whole segment front-to-back before unwinding it.
-    Segment checkpointing reaches a lower memory floor than per-unit
-    checkpointing at the same recompute cost, at the price of a larger
-    working set during the segment's backward window.
+    A thin frozen view over an :class:`ActionAssignment`: the legacy
+    ``checkpoint_units`` (dropped after forward, recomputed during
+    backward), ``swap_units`` (offloaded to host memory over PCIe, the
+    hybrid planners of Table I) and ``segments`` (Chen et al. groups of
+    consecutive units checkpointed together — interior boundaries drop
+    too, and the backward recomputes the whole segment front-to-back)
+    are all derived from the assignment, which is the canonical identity
+    the plan cache and the replay key hash on.  The legacy positional
+    constructor is preserved so hand-built plans keep working.
 
-    A unit may appear in at most one of the three structures.
+    A unit carries at most one action (the assignment validates this).
 
     ``predicted_peak_bytes`` is the peak memory the issuing planner
     predicted for this plan (None when the planner made no prediction).
@@ -53,32 +196,56 @@ class CheckpointPlan:
     including on cache-served iterations.
     """
 
-    checkpoint_units: frozenset[str] = frozenset()
-    label: str = ""
-    swap_units: frozenset[str] = frozenset()
-    segments: tuple[tuple[str, ...], ...] = ()
-    predicted_peak_bytes: Optional[int] = None
+    assignment: ActionAssignment
+    label: str
+    predicted_peak_bytes: Optional[int]
 
-    def __post_init__(self) -> None:
-        overlap = self.checkpoint_units & self.swap_units
-        if overlap:
-            raise ValueError(
-                f"units cannot be both dropped and swapped: {sorted(overlap)}"
+    def __init__(
+        self,
+        checkpoint_units: frozenset[str] = frozenset(),
+        label: str = "",
+        swap_units: frozenset[str] = frozenset(),
+        segments: tuple[tuple[str, ...], ...] = (),
+        predicted_peak_bytes: Optional[int] = None,
+        *,
+        assignment: Optional[ActionAssignment] = None,
+    ) -> None:
+        if assignment is None:
+            assignment = ActionAssignment.from_sets(
+                recompute=checkpoint_units,
+                swap=swap_units,
+                segments=segments,
             )
-        seen: set[str] = set()
-        for segment in self.segments:
-            if not segment:
-                raise ValueError("segments must be non-empty")
-            for name in segment:
-                if name in seen or name in self.checkpoint_units or name in self.swap_units:
-                    raise ValueError(
-                        f"unit {name!r} has conflicting plan assignments"
-                    )
-                seen.add(name)
+        elif checkpoint_units or swap_units or segments:
+            raise ValueError(
+                "pass either an assignment or the legacy unit sets, not both"
+            )
+        object.__setattr__(self, "assignment", assignment)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "predicted_peak_bytes", predicted_peak_bytes)
+
+    # ------------------------------------------------------- action dispatch
+
+    def action_for(self, unit_name: str) -> MemoryAction:
+        return self.assignment.action_for(unit_name)
+
+    # --------------------------------------------------- derived legacy view
+
+    @property
+    def checkpoint_units(self) -> frozenset[str]:
+        return self.assignment.checkpoint_units
+
+    @property
+    def swap_units(self) -> frozenset[str]:
+        return self.assignment.swap_units
+
+    @property
+    def segments(self) -> tuple[tuple[str, ...], ...]:
+        return self.assignment.segments
 
     @property
     def segment_units(self) -> frozenset[str]:
-        return frozenset(n for seg in self.segments for n in seg)
+        return self.assignment.segment_units
 
     @classmethod
     def none(cls) -> "CheckpointPlan":
@@ -87,6 +254,19 @@ class CheckpointPlan:
     @classmethod
     def of(cls, names: Sequence[str], label: str = "") -> "CheckpointPlan":
         return cls(frozenset(names), label)
+
+    @classmethod
+    def from_assignment(
+        cls,
+        assignment: ActionAssignment,
+        label: str = "",
+        predicted_peak_bytes: Optional[int] = None,
+    ) -> "CheckpointPlan":
+        return cls(
+            label=label,
+            predicted_peak_bytes=predicted_peak_bytes,
+            assignment=assignment,
+        )
 
     def __contains__(self, unit_name: str) -> bool:
         return unit_name in self.checkpoint_units

@@ -20,12 +20,23 @@ computation time for most layers" — falls directly out of these numbers:
 transformer-block activations transfer slower than they recompute, so
 the hybrid degenerates mostly to checkpointing plus stalls wherever it
 chose to swap.
+
+The rule itself lives in the shared scheduling layer
+(:class:`~repro.core.scheduler.PcieCostModel` priced through
+:class:`~repro.core.scheduler.HybridGreedyScheduler`); this planner is a
+thin caller that feeds it profile-measured forward/backward times and
+activation sizes for the measured input shape.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.scheduler import (
+    HybridGreedyScheduler,
+    PcieCostModel,
+    SchedulerInput,
+)
 from repro.models.base import BatchInput
 from repro.planners.analysis import predict_peak_bytes, unit_saved_bytes
 from repro.planners.base import (
@@ -67,6 +78,10 @@ class CapuchinPlanner(Planner):
         super().__init__(budget_bytes)
         self.device = device or DeviceModel()
         self.pcie_bandwidth = pcie_bandwidth
+        self.cost_model = PcieCostModel(
+            self.device, pcie_bandwidth=pcie_bandwidth
+        )
+        self.scheduler = HybridGreedyScheduler(self.cost_model)
         self._plan: Optional[CheckpointPlan] = None
         self.planned_for_size: int = 0
 
@@ -111,39 +126,21 @@ class CapuchinPlanner(Planner):
         if excess <= 0:
             return CheckpointPlan(frozenset(), "capuchin")
 
-        fwd_times = {n: self._unit_times(by_name[n])[0] for n in names}
-        bwd_times = [self._unit_times(by_name[n])[1] for n in names]
-        overlap_window = sum(bwd_times) / max(len(bwd_times), 1)
-        # Aggregate PCIe constraint: swap-outs serialise on one copy
-        # engine and must complete before their backward, i.e. roughly
-        # within the forward pass.  Swapping beyond this envelope only
-        # produces transfers that never finish in time (the §II
-        # observation that swapping cannot keep up with activation
-        # production on varying inputs).
-        transfer_envelope = 0.8 * sum(fwd_times.values())
-
-        drop: set[str] = set()
-        swap: set[str] = set()
-        freed = 0
-        cum_transfer = 0.0
-        for name in sorted(names, key=lambda n: -unit_saved_bytes(by_name[n])):
-            if freed >= excess:
-                break
-            nbytes = unit_saved_bytes(by_name[name])
-            if nbytes == 0:
-                continue
-            transfer = self.device.transfer_time(
-                nbytes, pcie_bandwidth=self.pcie_bandwidth
+        # Measured execution feeds the shared cost model: profile forward
+        # times price RECOMPUTE, profile backward times set the overlap
+        # window, and activation sizes price the PCIe transfers.  The
+        # selection loop itself (largest-first until the excess is
+        # covered, aggregate transfer envelope) is HybridGreedyScheduler.
+        assignment = self.scheduler.assign(
+            SchedulerInput(
+                est_bytes={n: unit_saved_bytes(by_name[n]) for n in names},
+                order={n: i for i, n in enumerate(names)},
+                excess_bytes=excess,
+                est_time={n: self._unit_times(by_name[n])[0] for n in names},
+                bwd_time={n: self._unit_times(by_name[n])[1] for n in names},
             )
-            swap_cost = max(0.0, transfer - overlap_window)
-            fits_bandwidth = cum_transfer + transfer <= transfer_envelope
-            if swap_cost < fwd_times[name] and fits_bandwidth:
-                swap.add(name)
-                cum_transfer += transfer
-            else:
-                drop.add(name)
-            freed += nbytes
-        return CheckpointPlan(frozenset(drop), "capuchin", frozenset(swap))
+        )
+        return CheckpointPlan.from_assignment(assignment, "capuchin")
 
     @property
     def chosen_swaps(self) -> frozenset[str]:

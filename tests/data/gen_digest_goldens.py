@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Regenerate the digest-parity goldens (tests/data/digest_parity.json).
+"""Regenerate the digest-parity goldens.
 
-The goldens pin ``RunResult.digest`` for a grid of (task, planner,
-budget, faults) runs.  They were captured from the pre-refactor seed
-executor and must stay bit-identical across any behaviour-preserving
-refactor of the execution engine.  Only regenerate them for an
-*intentional* behaviour change, and say so in the commit message.
+Two files are produced:
+
+* ``tests/data/digest_parity.json`` — run-level ``RunResult.digest``
+  per grid point;
+* ``tests/data/digest_parity_stream.json`` — per-iteration
+  ``RunResult.rolling_digests`` per grid point, so a parity failure can
+  name the first divergent iteration instead of only "digests differ".
+
+The goldens pin behaviour for a grid of (task, planner, budget, faults)
+runs.  They were captured from the pre-refactor seed executor and must
+stay bit-identical across any behaviour-preserving refactor of the
+execution engine.  Only regenerate them for an *intentional* behaviour
+change, and say so in the commit message.
 
 Usage::
 
@@ -20,19 +28,26 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
-from helpers_digest_grid import digest_grid, run_grid_point  # covered by per-file E402 ignore
+from helpers_digest_grid import digest_grid, run_grid_point_result  # covered by per-file E402 ignore
 
 OUT = pathlib.Path(__file__).parent / "digest_parity.json"
+OUT_STREAM = pathlib.Path(__file__).parent / "digest_parity_stream.json"
 
 
 def main() -> None:
     goldens = {}
+    streams = {}
     for point in digest_grid():
         key = "|".join(str(p) for p in point)
-        goldens[key] = run_grid_point(point)
+        result = run_grid_point_result(point)
+        goldens[key] = result.digest()
+        streams[key] = list(result.rolling_digests())
         print(f"{key}: {goldens[key]}")
     OUT.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(goldens)} goldens to {OUT}")
+    OUT_STREAM.write_text(
+        json.dumps(streams, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(goldens)} goldens to {OUT} (+ streams to {OUT_STREAM})")
 
 
 if __name__ == "__main__":

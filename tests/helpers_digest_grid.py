@@ -11,6 +11,7 @@ Sublinear dies or survives on margin).
 
 from __future__ import annotations
 
+from repro.engine.stats import RunResult
 from repro.experiments.runner import run_task
 from repro.experiments.tasks import GB, load_task
 from repro.tensorsim.faults import FaultPlan
@@ -39,17 +40,20 @@ def digest_grid() -> list[GridPoint]:
     return points
 
 
-def run_grid_point(point: GridPoint, *, seed: int = 0) -> str:
+def run_grid_point_result(point: GridPoint, *, seed: int = 0) -> RunResult:
     task_name, planner, budget_gb, iterations, fault_spec = point
     task = load_task(task_name, iterations=iterations, seed=seed)
     faults = (
         FaultPlan.parse(fault_spec, seed=3) if fault_spec else None
     )
-    result = run_task(
+    return run_task(
         task,
         planner,
         int(budget_gb * GB),
         max_iterations=iterations,
         faults=faults,
     )
-    return result.digest()
+
+
+def run_grid_point(point: GridPoint, *, seed: int = 0) -> str:
+    return run_grid_point_result(point, seed=seed).digest()

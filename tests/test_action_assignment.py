@@ -1,0 +1,219 @@
+"""Action-layer tests: the per-unit assignment is the plan's identity.
+
+Covers the refactor contract from three sides:
+
+* **round-trip** (property-based) — the legacy set vocabulary
+  (``checkpoint_units``/``swap_units``/``segments``) and the canonical
+  :class:`ActionAssignment` describe the same plan, whichever one a
+  plan is built from;
+* **planner parity** — every registered planner's emitted plans
+  reconstruct bit-equal from their own derived sets;
+* **CLI** — ``repro run --scheduler hybrid`` produces a mixed-action,
+  budget-respecting run, and the flag is rejected off Mimose.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main as repro_main
+from repro.experiments.runner import (
+    PLANNER_NAMES,
+    SCHEDULER_NAMES,
+    make_scheduler,
+    run_task,
+)
+from repro.experiments.tasks import GB, load_task
+from repro.planners.base import (
+    ActionAssignment,
+    CheckpointPlan,
+    MemoryAction,
+    ModelView,
+)
+from repro.planners.segmented import segment_plan
+
+from tests.helpers import make_tiny_model
+
+
+# ---------------------------------------------------------------- round-trip
+
+
+@st.composite
+def legacy_plan_parts(draw):
+    num_units = draw(st.integers(1, 8))
+    names = [f"unit.{i}" for i in range(num_units)]
+    drop_mask = draw(st.integers(0, (1 << num_units) - 1))
+    swap_mask = draw(st.integers(0, (1 << num_units) - 1)) & ~drop_mask
+    seg_mask = (
+        draw(st.integers(0, (1 << num_units) - 1)) & ~drop_mask & ~swap_mask
+    )
+    drop = frozenset(n for i, n in enumerate(names) if drop_mask & (1 << i))
+    swap = frozenset(n for i, n in enumerate(names) if swap_mask & (1 << i))
+    seg_members = [n for i, n in enumerate(names) if seg_mask & (1 << i)]
+    cut = draw(st.integers(0, len(seg_members)))
+    segments = tuple(
+        tuple(part)
+        for part in (seg_members[:cut], seg_members[cut:])
+        if part
+    )
+    return drop, swap, segments
+
+
+@settings(max_examples=100, deadline=None)
+@given(parts=legacy_plan_parts())
+def test_property_legacy_sets_round_trip_through_assignment(parts):
+    drop, swap, segments = parts
+    legacy = CheckpointPlan(drop, "prop", swap, segments)
+    # the derived views reproduce the constructor inputs
+    assert legacy.checkpoint_units == drop
+    assert legacy.swap_units == swap
+    assert legacy.segments == segments
+    # rebuilding from the canonical assignment is the identical plan
+    rebuilt = CheckpointPlan.from_assignment(legacy.assignment, "prop")
+    assert rebuilt == legacy
+    assert hash(rebuilt) == hash(legacy)
+    # ... and so is rebuilding from the derived sets
+    resets = CheckpointPlan(
+        rebuilt.checkpoint_units, "prop", rebuilt.swap_units, rebuilt.segments
+    )
+    assert resets.assignment == legacy.assignment
+    # per-unit dispatch agrees with the set vocabulary everywhere
+    seg_units = {u for seg in segments for u in seg}
+    for i in range(10):
+        name = f"unit.{i}"
+        action = legacy.action_for(name)
+        if name in drop:
+            assert action is MemoryAction.RECOMPUTE
+        elif name in swap:
+            assert action is MemoryAction.SWAP
+        elif name in seg_units:
+            assert action is MemoryAction.SEGMENT
+        else:
+            assert action is MemoryAction.KEEP
+
+
+@settings(max_examples=100, deadline=None)
+@given(parts=legacy_plan_parts())
+def test_property_from_sets_round_trips(parts):
+    drop, swap, segments = parts
+    a = ActionAssignment.from_sets(
+        recompute=drop, swap=swap, segments=segments
+    )
+    assert a.checkpoint_units == drop
+    assert a.swap_units == swap
+    assert a.segments == segments
+    seg_units = {u for seg in segments for u in seg}
+    assert a.units == drop | swap | seg_units
+    assert a.segment_units == seg_units
+    assert ActionAssignment.from_sets(
+        recompute=a.checkpoint_units,
+        swap=a.swap_units,
+        segments=a.segments,
+    ) == a
+
+
+# ------------------------------------------------------------ planner parity
+
+
+@pytest.mark.parametrize("planner_name", PLANNER_NAMES)
+def test_planner_plans_reconstruct_from_derived_sets(planner_name):
+    captured: list[CheckpointPlan] = []
+
+    def capture(ex):
+        orig = ex.planner.plan
+
+        def wrapped(batch):
+            decision = orig(batch)
+            captured.append(decision.plan)
+            return decision
+
+        ex.planner.plan = wrapped
+
+    task = load_task("TC-Bert", iterations=15, seed=0)
+    run_task(
+        task,
+        planner_name,
+        int(4 * GB),
+        max_iterations=15,
+        observers=[capture],
+    )
+    assert captured
+    for plan in captured:
+        rebuilt = CheckpointPlan(
+            plan.checkpoint_units,
+            plan.label,
+            plan.swap_units,
+            plan.segments,
+            plan.predicted_peak_bytes,
+        )
+        assert rebuilt == plan
+        assert rebuilt.assignment == plan.assignment
+
+
+def test_segment_plan_round_trips_and_dispatches():
+    view = ModelView(make_tiny_model(num_units=6))
+    plan = segment_plan(view, 3)
+    assert plan.segments
+    for seg in plan.segments:
+        for unit in seg:
+            assert plan.action_for(unit) is MemoryAction.SEGMENT
+    rebuilt = CheckpointPlan.from_assignment(plan.assignment, plan.label)
+    assert rebuilt == plan
+    assert rebuilt.segments == plan.segments
+
+
+# -------------------------------------------------------------- hybrid CLI
+
+
+def test_cli_run_scheduler_hybrid_mixes_actions(capsys):
+    code = repro_main(
+        [
+            "run", "--task", "TC-Bert", "--planner", "mimose",
+            "--scheduler", "hybrid", "--budget-gb", "2.5",
+            "--iterations", "30",
+        ]
+    )
+    assert code == 0
+    assert "mimose" in capsys.readouterr().out
+    # the same configuration through the API: the plan stream must mix
+    # both non-KEEP actions and honour the budget
+    task = load_task("TC-Bert", iterations=30, seed=0)
+    result = run_task(
+        task, "mimose", int(2.5 * GB), max_iterations=30, scheduler="hybrid"
+    )
+    assert result.succeeded
+    assert result.peak_reserved <= int(2.5 * GB)
+    assert any(s.num_swapped > 0 for s in result.iterations)
+    assert any(s.num_checkpointed > 0 for s in result.iterations)
+    assert any(
+        s.num_swapped > 0 and s.num_checkpointed > 0
+        for s in result.iterations
+    )
+
+
+def test_cli_rejects_scheduler_for_non_mimose_planner():
+    with pytest.raises(SystemExit, match="mimose"):
+        repro_main(
+            [
+                "run", "--task", "TC-Bert", "--planner", "capuchin",
+                "--scheduler", "hybrid", "--budget-gb", "4",
+                "--iterations", "5",
+            ]
+        )
+
+
+def test_make_scheduler_names():
+    for name in SCHEDULER_NAMES:
+        assert make_scheduler(name).name == name
+    with pytest.raises(KeyError):
+        make_scheduler("simulated-annealing")
+    with pytest.raises(ValueError, match="mimose"):
+        run_task(
+            load_task("TC-Bert", iterations=2, seed=0),
+            "capuchin",
+            int(4 * GB),
+            max_iterations=2,
+            scheduler="hybrid",
+        )

@@ -28,6 +28,7 @@ from repro.engine.events import (
     TimeCharged,
 )
 from repro.engine.executor import TrainingExecutor
+from repro.engine.stats import RunResult
 from repro.engine.strategies import (
     _STRATEGIES,
     CollectStrategy,
@@ -44,11 +45,11 @@ from repro.planners.none import NoCheckpointPlanner
 from repro.tensorsim.faults import FaultPlan
 
 from tests.helpers import make_tiny_model
-from tests.helpers_digest_grid import digest_grid, run_grid_point
+from tests.helpers_digest_grid import digest_grid, run_grid_point_result
 
-GOLDENS = json.loads(
-    (pathlib.Path(__file__).parent / "data" / "digest_parity.json").read_text()
-)
+_DATA = pathlib.Path(__file__).parent / "data"
+GOLDENS = json.loads((_DATA / "digest_parity.json").read_text())
+STREAM_GOLDENS = json.loads((_DATA / "digest_parity_stream.json").read_text())
 
 
 # ---------------------------------------------------------------- digest grid
@@ -60,7 +61,39 @@ GOLDENS = json.loads(
 def test_digest_matches_seed_golden(point):
     key = "|".join(str(p) for p in point)
     assert key in GOLDENS, f"no golden for {key}; regenerate goldens"
-    assert run_grid_point(point) == GOLDENS[key]
+    result = run_grid_point_result(point)
+    if result.digest() == GOLDENS[key]:
+        return
+    # Diverged: use the rolling (per-iteration prefix) digests to name
+    # the first iteration whose simulated behaviour changed.
+    rolling = result.rolling_digests()
+    golden_stream = STREAM_GOLDENS.get(key, [])
+    first = next(
+        (
+            i
+            for i, (got, want) in enumerate(zip(rolling, golden_stream))
+            if got != want
+        ),
+        min(len(rolling), len(golden_stream)),
+    )
+    pytest.fail(
+        f"digest mismatch for {key}: first divergent iteration is {first} "
+        f"(ran {len(rolling)} iterations, golden has {len(golden_stream)})"
+    )
+
+
+def test_rolling_digests_prefix_run_digest():
+    """The last rolling digest IS the run digest; entries are prefixes."""
+    result = run_grid_point_result(("TC-Bert", "mimose", 4.0, 12, ""))
+    rolling = result.rolling_digests()
+    assert len(rolling) == result.num_iterations
+    assert rolling[-1] == result.digest()
+    truncated = RunResult(
+        result.task_name, result.planner_name, result.budget_bytes,
+        iterations=result.iterations[:5],
+    )
+    assert truncated.digest() == rolling[4]
+    assert RunResult("t", "p", 1).rolling_digests() == ()
 
 
 def test_digest_parity_serial_vs_parallel():

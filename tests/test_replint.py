@@ -196,6 +196,54 @@ def test_eventbus_rule_requires_wants_guard_on_hot_events():
 
 
 # ---------------------------------------------------------------------------
+# plan-membership
+# ---------------------------------------------------------------------------
+
+
+def test_plan_membership_rule_flags_unit_set_probes():
+    bad_checkpoint = (
+        "def f(plan, unit):\n"
+        "    return unit.name in plan.checkpoint_units\n"
+    )
+    assert rule_ids(analyze_sources({"m.py": bad_checkpoint})) == {
+        "plan-membership"
+    }
+    bad_swap = (
+        "def f(decision, name):\n"
+        "    if name not in decision.plan.swap_units:\n"
+        "        return None\n"
+    )
+    assert rule_ids(analyze_sources({"m.py": bad_swap})) == {
+        "plan-membership"
+    }
+
+
+def test_plan_membership_rule_allows_action_dispatch_and_set_reads():
+    clean = (
+        "def f(plan, unit, other):\n"
+        "    action = plan.assignment.action_for(unit.name)\n"
+        "    dropped = len(plan.checkpoint_units)\n"
+        "    order = sorted(plan.swap_units)\n"
+        "    both = plan.checkpoint_units | plan.swap_units\n"
+        "    return action, dropped, order, both, unit in other\n"
+    )
+    assert analyze_sources({"m.py": clean}) == []
+
+
+def test_plan_membership_rule_respects_allow_globs():
+    bad = (
+        "def f(plan, unit):\n"
+        "    return unit in plan.swap_units\n"
+    )
+    rules = create_rules(
+        {"plan-membership": {"allow": ["src/repro/planners/*"]}},
+        select=["plan-membership"],
+    )
+    assert analyze_sources({"src/repro/planners/x.py": bad}, rules) == []
+    assert analyze_sources({"src/repro/engine/x.py": bad}, rules) != []
+
+
+# ---------------------------------------------------------------------------
 # byte-units
 # ---------------------------------------------------------------------------
 
