@@ -11,7 +11,12 @@ import numpy as np
 from repro.core.collector import ShuttlingCollector
 from repro.core.estimator import LightningMemoryEstimator
 from repro.core.plan_cache import PlanCache
-from repro.core.scheduler import GreedyScheduler, SchedulerInput
+from repro.core.scheduler import (
+    GreedyScheduler,
+    HybridGreedyScheduler,
+    PcieCostModel,
+    SchedulerInput,
+)
 from repro.engine.stats import UnitMeasurement
 from repro.planners.base import CheckpointPlan
 from repro.tensorsim.allocator import CachingAllocator
@@ -56,6 +61,30 @@ def bench_scheduler_greedy(benchmark):
     inp = SchedulerInput(est_bytes=est, order=order, excess_bytes=500 * MB)
     chosen = benchmark(GreedyScheduler().schedule, inp)
     assert chosen
+
+
+def bench_scheduler_hybrid_assign(benchmark):
+    """Hybrid swap/recompute pricing over 400 units.
+
+    The window/envelope are hoisted out of the selection loop, so the
+    pass is O(n log n) (the size sort) — a few hundred microseconds at
+    this unit count, not the quadratic re-pricing it once was.
+    """
+    n = 400
+    est = {f"enc.{i}": (20 + (i * 37) % 300) * MB for i in range(n)}
+    order = {u: i for i, u in enumerate(est)}
+    est_time = {u: 1e-4 + 5e-7 * i for i, u in enumerate(est)}
+    bwd_time = {u: 1.6 * t for u, t in est_time.items()}
+    inp = SchedulerInput(
+        est_bytes=est,
+        order=order,
+        excess_bytes=sum(est.values()) // 2,
+        est_time=est_time,
+        bwd_time=bwd_time,
+    )
+    scheduler = HybridGreedyScheduler(PcieCostModel(pcie_bandwidth=12e9))
+    assignment = benchmark(scheduler.assign, inp)
+    assert assignment.units
 
 
 def bench_plan_cache_lookup(benchmark):

@@ -113,6 +113,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"error: --scheduler {scheduler} applies to --planner mimose "
             f"only, not {args.planner!r}"
         )
+    if args.bwd_ratio is not None:
+        if scheduler != "hybrid":
+            raise SystemExit(
+                "error: --bwd-ratio applies to --scheduler hybrid only"
+            )
+        if args.bwd_ratio <= 0:
+            raise SystemExit("error: --bwd-ratio must be positive")
+    # Capture the executor so the report can say which pricing branch the
+    # hybrid cost model actually used (observers never alter simulation).
+    executor_box: list = []
+    if scheduler == "hybrid":
+        observers.append(executor_box.append)
     is_baseline_run = args.planner == "baseline" and faults is None
     baseline = run_task(
         task,
@@ -133,6 +145,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             observers=observers,
             scheduler=scheduler,
+            bwd_ratio=args.bwd_ratio,
         )
     )
     breakdown = result.time_breakdown()
@@ -163,6 +176,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for mode, count in sorted(result.recovery_modes().items())
         )
         print(f"recovery: {modes}")
+    if executor_box:
+        planner = executor_box[0].planner
+        model = planner.scheduler.cost_model
+        sizes = {s.input_size for s in result.iterations if not s.is_collect}
+        modes = sorted(
+            {
+                model.pricing_mode(planner.scheduler_input(size))
+                for size in sizes
+            }
+        )
+        if modes:
+            print(f"swap pricing: {', '.join(modes)}")
     if counter is not None:
         print("events:")
         for name, count in sorted(counter.counts.items()):
@@ -246,6 +271,17 @@ def build_parser() -> argparse.ArgumentParser:
             "scheduling strategy for mimose's excess-covering step "
             "('hybrid' mixes per-unit RECOMPUTE/SWAP via the PCIe cost "
             "model; mimose only)"
+        ),
+    )
+    run_p.add_argument(
+        "--bwd-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "force the hybrid cost model to price the swap overlap window "
+            "as R x mean forward time instead of measured backward times "
+            "(explicit override; requires --scheduler hybrid)"
         ),
     )
     run_p.add_argument("--iterations", type=int, default=60)

@@ -4,11 +4,14 @@ During sheltered execution the executor runs every checkpointable unit's
 forward twice (Fig 7) while keeping the Sublinear memory footprint, and
 reports per-unit :class:`~repro.engine.stats.UnitMeasurement`s.  The
 collector accumulates those samples — one (input size → activation bytes,
-forward time) point per unit per sheltered iteration — until it has enough
-to train the memory estimator.
+forward time, backward time) point per unit per sheltered iteration —
+until it has enough to train the memory estimator.
 
 The collector never touches the model: everything it knows arrived through
-measurements, which is the paper's "no prior knowledge" constraint.
+measurements, which is the paper's "no prior knowledge" constraint.  That
+includes backward times: the sheltered backward pass times each unit, so
+swap-vs-recompute pricing downstream can use a measured overlap window
+instead of the backward ≈ 2× forward folk constant.
 """
 
 from __future__ import annotations
@@ -22,11 +25,12 @@ from repro.engine.stats import UnitMeasurement
 
 @dataclass(frozen=True, slots=True)
 class CollectedSample:
-    """One (input size, activation bytes, forward seconds) sample."""
+    """One (input size, activation bytes, forward s, backward s) sample."""
 
     input_size: int
     saved_bytes: int
     fwd_time: float
+    bwd_time: float = 0.0
 
 
 class ShuttlingCollector:
@@ -35,8 +39,12 @@ class ShuttlingCollector:
     Args:
         min_iterations: sheltered iterations before the estimator may be
             trained (the paper uses 10, §V).
-        min_distinct_sizes: distinct input sizes required — a quadratic
-            needs at least three, and noise-robustness wants a few more.
+        min_distinct_sizes: distinct input sizes required *per unit* — a
+            quadratic needs at least three, and noise-robustness wants a
+            few more.  Readiness is gated on the worst-covered unit, not
+            the union of sizes across units: a unit observed at a single
+            size would otherwise receive a degenerate quadratic fit while
+            the union looked healthy.
     """
 
     def __init__(self, min_iterations: int = 10, min_distinct_sizes: int = 4) -> None:
@@ -49,6 +57,7 @@ class ShuttlingCollector:
         self._samples: dict[str, list[CollectedSample]] = defaultdict(list)
         self._iterations = 0
         self._seen_sizes: set[int] = set()
+        self._unit_sizes: dict[str, set[int]] = defaultdict(set)
 
     # ---------------------------------------------------------------- ingest
 
@@ -57,9 +66,12 @@ class ShuttlingCollector:
         any_seen = False
         for m in measurements:
             self._samples[m.unit_name].append(
-                CollectedSample(m.input_size, m.saved_bytes, m.fwd_time)
+                CollectedSample(
+                    m.input_size, m.saved_bytes, m.fwd_time, m.bwd_time
+                )
             )
             self._seen_sizes.add(m.input_size)
+            self._unit_sizes[m.unit_name].add(m.input_size)
             any_seen = True
         if any_seen:
             self._iterations += 1
@@ -74,15 +86,26 @@ class ShuttlingCollector:
     def distinct_sizes(self) -> int:
         return len(self._seen_sizes)
 
+    def distinct_sizes_for(self, unit_name: str) -> int:
+        """Distinct input sizes at which one unit has been measured."""
+        return len(self._unit_sizes.get(unit_name, ()))
+
     @property
     def max_seen_size(self) -> int:
         return max(self._seen_sizes, default=0)
 
     def is_ready(self) -> bool:
-        """Whether enough data exists to train the estimator."""
+        """Whether enough data exists to train the estimator.
+
+        Every unit must have been observed at ``min_distinct_sizes``
+        distinct input sizes — the union across units is not enough,
+        because each unit gets its own regression fit.
+        """
         return (
             self._iterations >= self.min_iterations
-            and len(self._seen_sizes) >= self.min_distinct_sizes
+            and bool(self._unit_sizes)
+            and min(len(s) for s in self._unit_sizes.values())
+            >= self.min_distinct_sizes
         )
 
     def unit_names(self) -> list[str]:
@@ -91,18 +114,22 @@ class ShuttlingCollector:
     def samples(self, unit_name: str) -> Sequence[CollectedSample]:
         return tuple(self._samples.get(unit_name, ()))
 
-    def training_data(self) -> Mapping[str, tuple[list[int], list[int], list[float]]]:
-        """Per-unit (input sizes, byte sizes, forward times) arrays."""
-        out: dict[str, tuple[list[int], list[int], list[float]]] = {}
+    def training_data(
+        self,
+    ) -> Mapping[str, tuple[list[int], list[int], list[float], list[float]]]:
+        """Per-unit (input sizes, byte sizes, forward s, backward s) arrays."""
+        out: dict[str, tuple[list[int], list[int], list[float], list[float]]] = {}
         for name, rows in self._samples.items():
             out[name] = (
                 [r.input_size for r in rows],
                 [r.saved_bytes for r in rows],
                 [r.fwd_time for r in rows],
+                [r.bwd_time for r in rows],
             )
         return out
 
     def clear(self) -> None:
         self._samples.clear()
         self._seen_sizes.clear()
+        self._unit_sizes.clear()
         self._iterations = 0

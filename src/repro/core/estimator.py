@@ -97,6 +97,7 @@ class LightningMemoryEstimator:
         self._factory = regressor_factory or (lambda: PolynomialRegressor(2))
         self._mem_models: dict[str, Regressor] = {}
         self._time_models: dict[str, Regressor] = {}
+        self._bwd_models: dict[str, Regressor] = {}
         self._base_model: Regressor | None = None
         self._last_fit_time = 0.0
         self._max_trained_size = 0
@@ -104,13 +105,22 @@ class LightningMemoryEstimator:
         # memoisation; both rebuilt/cleared on every fit.
         self._mem_stack: Optional[_StackedPolynomials] = None
         self._time_stack: Optional[_StackedPolynomials] = None
+        self._bwd_stack: Optional[_StackedPolynomials] = None
         self._bytes_cache: dict[int, dict[str, int]] = {}
         self._times_cache: dict[int, dict[str, float]] = {}
+        self._bwd_cache: dict[int, dict[str, float]] = {}
 
     # ------------------------------------------------------------------- fit
 
     def fit(self, collector: ShuttlingCollector) -> float:
-        """Train one memory and one time model per unit.
+        """Train one memory, forward-time, and backward-time model per unit.
+
+        Backward models are only fitted when the collector actually
+        observed backward times (any positive sample): hand-built
+        collectors that predate backward measurement — or sheltered runs
+        aborted before a backward — leave :attr:`has_bwd_data` False, so
+        downstream pricing falls back to the labelled ratio instead of
+        trusting an all-zero regression.
 
         Returns the wall-clock fit time in seconds.
         """
@@ -120,20 +130,29 @@ class LightningMemoryEstimator:
         start = time.perf_counter()
         mem_models: dict[str, Regressor] = {}
         time_models: dict[str, Regressor] = {}
+        bwd_models: dict[str, Regressor] = {}
+        have_bwd = any(
+            any(b > 0.0 for b in bwds) for (_, _, _, bwds) in data.values()
+        )
         max_size = 0
-        for unit, (sizes, bytes_, times) in data.items():
+        for unit, (sizes, bytes_, times, bwd_times) in data.items():
             mem_models[unit] = self._factory().fit(sizes, bytes_)
             time_models[unit] = self._factory().fit(sizes, times)
+            if have_bwd:
+                bwd_models[unit] = self._factory().fit(sizes, bwd_times)
             max_size = max(max_size, max(sizes))
         self._mem_stack = _StackedPolynomials.build(mem_models)
         self._time_stack = _StackedPolynomials.build(time_models)
+        self._bwd_stack = _StackedPolynomials.build(bwd_models)
         elapsed = time.perf_counter() - start
         self._mem_models = mem_models
         self._time_models = time_models
+        self._bwd_models = bwd_models
         self._last_fit_time = elapsed
         self._max_trained_size = max_size
         self._bytes_cache.clear()
         self._times_cache.clear()
+        self._bwd_cache.clear()
         return elapsed
 
     def fit_base(self, sizes: list[int], peak_bytes: list[int]) -> None:
@@ -185,6 +204,18 @@ class LightningMemoryEstimator:
         if model is None:
             raise KeyError(f"no time model for unit {unit_name!r}")
         return max(0.0, float(model.predict(input_size)))
+
+    def predict_bwd_time(self, unit_name: str, input_size: int) -> float:
+        """Predicted backward seconds of one unit (clamped non-negative)."""
+        model = self._bwd_models.get(unit_name)
+        if model is None:
+            raise KeyError(f"no backward-time model for unit {unit_name!r}")
+        return max(0.0, float(model.predict(input_size)))
+
+    @property
+    def has_bwd_data(self) -> bool:
+        """Whether backward-time models were fitted from measured data."""
+        return bool(self._bwd_models)
 
     _PREDICT_CACHE_LIMIT = 4096
 
@@ -238,6 +269,34 @@ class LightningMemoryEstimator:
             if len(self._times_cache) >= self._PREDICT_CACHE_LIMIT:
                 self._times_cache.clear()
             self._times_cache[key] = cached
+        return dict(cached)
+
+    def predict_all_bwd_times(self, input_size: int) -> dict[str, float]:
+        """Per-unit predicted backward seconds for one input size.
+
+        Same vectorisation/memoisation contract as
+        :meth:`predict_all_bytes`; raises when no backward data was
+        measured (check :attr:`has_bwd_data` first).
+        """
+        if not self._bwd_models:
+            raise RuntimeError("no backward-time models were fitted")
+        key = int(input_size)
+        cached = self._bwd_cache.get(key)
+        if cached is None:
+            if self._bwd_stack is not None:
+                values = self._bwd_stack.evaluate(key)
+                cached = {
+                    name: max(0.0, float(v))
+                    for name, v in zip(self._bwd_stack.names, values)
+                }
+            else:
+                cached = {
+                    name: max(0.0, float(model.predict(key)))
+                    for name, model in self._bwd_models.items()
+                }
+            if len(self._bwd_cache) >= self._PREDICT_CACHE_LIMIT:
+                self._bwd_cache.clear()
+            self._bwd_cache[key] = cached
         return dict(cached)
 
     def total_bytes(self, input_size: int) -> int:

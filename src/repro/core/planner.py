@@ -196,7 +196,15 @@ class MimosePlanner(Planner):
         reserve = self.headroom_bytes + int(self.frag_observed.value())
         return self.budget_bytes - min(reserve, self._warmup_reserve * 2)
 
-    def _make_plan(self, size: int) -> CheckpointPlan:
+    def scheduler_input(self, size: int) -> SchedulerInput:
+        """The scheduler's view of one input size, from current estimates.
+
+        Carries measured backward times whenever the estimator holds any
+        (the sheltered backward pass stamps them), so cost-model pricing
+        takes its measured branch instead of the ratio fallback.  Public
+        because calibration checks (``benchmarks/bench_hybrid.py``)
+        re-price a finished run's plans through the same view.
+        """
         est = self.estimator.predict_all_bytes(size)
         base = (
             self.estimator.predict_base(size)
@@ -208,18 +216,33 @@ class MimosePlanner(Planner):
             total = int(total * (1.0 + self.residuals.margin()))
         excess = total - self._usable_budget()
         if excess <= 0:
+            return SchedulerInput(
+                est_bytes=est, order=self._order, excess_bytes=excess
+            )
+        bwd_time = (
+            self.estimator.predict_all_bwd_times(size)
+            if self.estimator.has_bwd_data
+            else None
+        )
+        return SchedulerInput(
+            est_bytes=est,
+            order=self._order,
+            excess_bytes=excess,
+            est_time=self.estimator.predict_all_times(size),
+            bwd_time=bwd_time,
+        )
+
+    def _make_plan(self, size: int) -> CheckpointPlan:
+        inp = self.scheduler_input(size)
+        est = inp.est_bytes
+        # excess = total - usable (exact int arithmetic), inverted here so
+        # the plan's predicted peak matches scheduler_input's view.
+        total = inp.excess_bytes + self._usable_budget()
+        if inp.excess_bytes <= 0:
             return CheckpointPlan(
                 frozenset(), "mimose", predicted_peak_bytes=total
             )
-        est_time = self.estimator.predict_all_times(size)
-        assignment = self.scheduler.assign(
-            SchedulerInput(
-                est_bytes=est,
-                order=self._order,
-                excess_bytes=excess,
-                est_time=est_time,
-            )
-        )
+        assignment = self.scheduler.assign(inp)
         # The prediction travels with the plan (through the cache and into
         # the iteration stats) so residual tracking attributes every
         # observation to the plan that produced it — cache hits included.

@@ -49,8 +49,9 @@ class SchedulerInput:
             plan must release.
         est_time: optional estimated forward (recompute) seconds per unit.
         bwd_time: optional estimated backward seconds per unit (cost
-            models derive the swap overlap window from it; absent for
-            Mimose, whose collector only measures forwards).
+            models derive the swap overlap window from it; filled from
+            sheltered backward measurements by both the Capuchin planner
+            and ``MimosePlanner`` once the estimator has backward data).
     """
 
     est_bytes: Mapping[str, int]
@@ -102,27 +103,38 @@ class PcieCostModel:
     with activation production).
 
     The overlap window is the mean per-unit backward time when the input
-    carries measured backwards (Capuchin's measured execution); otherwise
-    it falls back to ``bwd_ratio`` × the mean estimated forward time —
-    the standard backward ≈ 2× forward rule — which is what Mimose's
-    forward-only measurements provide.
+    carries measured backwards (Capuchin's measured-execution
+    discipline).  Without measured backwards it falls back to
+    ``bwd_ratio`` × the mean estimated forward time — the backward ≈ 2×
+    forward *folk* rule, a rough average that is wrong per architecture
+    (attention-heavy vs. conv-heavy units differ substantially), which
+    is exactly why measured backwards exist.  The fallback ratio is
+    :data:`DEFAULT_BWD_RATIO` unless the caller forces one.
 
     Args:
         device: device model used to price PCIe transfers.
         pcie_bandwidth: host link bandwidth (bytes/s); ``None`` prices
             transfers at the device preset's own link speed.
-        bwd_ratio: backward/forward time ratio assumed when ``bwd_time``
-            is absent from the input.
+        bwd_ratio: ``None`` (the default) prefers measured ``bwd_time``
+            and uses :data:`DEFAULT_BWD_RATIO` only as the fallback when
+            backwards were never measured.  An explicit float *forces*
+            ratio pricing even when measured backwards are available —
+            the ``--bwd-ratio`` CLI override, useful for A/B-ing the
+            constant against measured pricing.
         envelope_fraction: fraction of total forward time available to
             the copy engine.
     """
+
+    #: Fallback backward/forward ratio when no backwards were measured.
+    #: A folk constant, not a law — see the class docstring.
+    DEFAULT_BWD_RATIO = 2.0
 
     def __init__(
         self,
         device: Optional[DeviceModel] = None,
         *,
         pcie_bandwidth: Optional[float] = None,
-        bwd_ratio: float = 2.0,
+        bwd_ratio: Optional[float] = None,
         envelope_fraction: float = 0.8,
     ) -> None:
         self.device = device if device is not None else DeviceModel()
@@ -142,14 +154,35 @@ class PcieCostModel:
             return 0.0
         return inp.est_time[unit]
 
-    def overlap_window(self, inp: SchedulerInput) -> float:
+    def pricing_mode(self, inp: SchedulerInput) -> str:
+        """Which branch :meth:`overlap_window` takes for this input.
+
+        One of ``"measured-bwd"`` (per-unit measured backwards),
+        ``"ratio-override"`` (caller forced an explicit ratio),
+        ``"ratio-fallback"`` (no backwards measured; the
+        :data:`DEFAULT_BWD_RATIO` constant), or ``"untimed"`` (no time
+        estimates at all — swapping never wins).
+        """
+        if self.bwd_ratio is not None:
+            return "ratio-override" if inp.est_time is not None else "untimed"
         if inp.bwd_time is not None:
+            return "measured-bwd"
+        if inp.est_time is not None:
+            return "ratio-fallback"
+        return "untimed"
+
+    def overlap_window(self, inp: SchedulerInput) -> float:
+        if self.bwd_ratio is None and inp.bwd_time is not None:
             bwd = list(inp.bwd_time.values())
             return sum(bwd) / max(len(bwd), 1)
         if inp.est_time is None:
             return 0.0
+        ratio = (
+            self.DEFAULT_BWD_RATIO if self.bwd_ratio is None
+            else self.bwd_ratio
+        )
         fwd = list(inp.est_time.values())
-        return self.bwd_ratio * (sum(fwd) / max(len(fwd), 1))
+        return ratio * (sum(fwd) / max(len(fwd), 1))
 
     def transfer_envelope(self, inp: SchedulerInput) -> float:
         if inp.est_time is None:
@@ -268,16 +301,28 @@ class KnapsackScheduler(Scheduler):
     def schedule(self, inp: SchedulerInput) -> frozenset[str]:
         if inp.excess_bytes <= 0:
             return frozenset()
-        units = list(inp.est_bytes)
+        need = math.ceil(inp.excess_bytes / self._QUANTUM)
+        # Round *down*: each counted quantum under-states the unit's real
+        # bytes, so DP coverage (sum(sizes) >= need) guarantees the real
+        # bytes freed reach excess_bytes.  A max(1, ...) floor here would
+        # let a sub-quantum unit masquerade as a full MiB and leave the
+        # excess uncovered.  Zero-quantum units can never help cover, so
+        # they are excluded from the DP outright.
+        sizes = {
+            u: b // self._QUANTUM
+            for u, b in inp.est_bytes.items()
+            if b >= self._QUANTUM
+        }
+        units = list(sizes)
         times = {
             u: (inp.est_time[u] if inp.est_time else float(inp.order[u] + 1))
             for u in units
         }
-        need = math.ceil(inp.excess_bytes / self._QUANTUM)
-        sizes = {u: max(1, inp.est_bytes[u] // self._QUANTUM) for u in units}
         total = sum(sizes.values())
         if total < need:
-            return frozenset(units)  # even everything falls short; drop all
+            # Even every DP-eligible unit falls short of guaranteed
+            # coverage; drop everything, sub-quantum units included.
+            return frozenset(inp.est_bytes)
         # rows[i][c] = min time to cover >= c quanta using the first i units
         inf = float("inf")
         rows: list[list[float]] = [[0.0, *([inf] * need)]]
@@ -291,7 +336,7 @@ class KnapsackScheduler(Scheduler):
                     cur[c] = src
             rows.append(cur)
         if rows[-1][need] == inf:
-            return frozenset(units)
+            return frozenset(inp.est_bytes)
         chosen: list[str] = []
         c = need
         for i in range(len(units), 0, -1):
@@ -334,7 +379,12 @@ class HybridGreedyScheduler(Scheduler):
         if inp.excess_bytes <= 0:
             return ActionAssignment.empty()
         model = self.cost_model
+        # One O(n) envelope + window per call, not per unit: the per-unit
+        # swap price is max(0, transfer - window), float-identical to
+        # model.swap_cost(name, inp) but without re-deriving the window
+        # (itself an O(n) mean) inside the selection loop.
         envelope = model.transfer_envelope(inp)
+        window = model.overlap_window(inp)
         drop: set[str] = set()
         swap: set[str] = set()
         freed = 0
@@ -347,10 +397,8 @@ class HybridGreedyScheduler(Scheduler):
                 continue
             transfer = model.transfer_time(nbytes)
             fits_bandwidth = cum_transfer + transfer <= envelope
-            cheaper = model.swap_cost(name, inp) < model.recompute_cost(
-                name, inp
-            )
-            if cheaper and fits_bandwidth:
+            stall = max(0.0, transfer - window)
+            if stall < model.recompute_cost(name, inp) and fits_bandwidth:
                 swap.add(name)
                 cum_transfer += transfer
             else:
@@ -359,3 +407,21 @@ class HybridGreedyScheduler(Scheduler):
         return ActionAssignment.from_sets(
             recompute=frozenset(drop), swap=frozenset(swap)
         )
+
+
+def predicted_swap_stall(
+    model: CostModel, assignment: ActionAssignment, inp: SchedulerInput
+) -> float:
+    """Total backward stall the cost model predicts for a plan's swaps.
+
+    Sums ``max(0, transfer_time(bytes_u) - overlap_window)`` over the
+    assignment's swapped units — the same residual the selection loop
+    priced, aggregated so it can be compared against the simulated
+    ``swap_stall_time`` a run actually reports (the calibration check
+    ``benchmarks/bench_hybrid.py`` performs).
+    """
+    window = model.overlap_window(inp)
+    return sum(
+        max(0.0, model.transfer_time(inp.est_bytes[u]) - window)
+        for u in assignment.swap_units
+    )

@@ -102,6 +102,23 @@ class MeasurementTaken:
 
 
 @dataclass(frozen=True, slots=True)
+class BackwardMeasured:
+    """The sheltered backward pass timed one unit (COLLECT mode).
+
+    Emitted per checkpointable unit by the COLLECT strategy's backward,
+    after the unit's backward compute has been charged to the simulated
+    clock; the stats builder folds ``seconds`` into the iteration's
+    pending :class:`~repro.engine.stats.UnitMeasurement` for that unit,
+    completing the (bytes, forward, backward) sample the shuttling
+    collector accumulates.
+    """
+
+    iteration: int
+    unit: str
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
 class TensorAlloc:
     """An activation tensor was materialized (opt-in: publishers guard
     this with ``bus.wants(TensorAlloc)`` — it is per-tensor hot-path)."""

@@ -16,12 +16,30 @@ class UnitMeasurement:
         saved_bytes: activation bytes the unit pins until backward,
             as observed from allocator deltas (includes alignment rounding).
         fwd_time: one forward execution of the unit, seconds.
+        bwd_time: the unit's backward execution, seconds, stamped by the
+            sheltered backward pass (0.0 when the backward was never
+            observed — e.g. an iteration that OOM'd before reaching it).
     """
 
     unit_name: str
     input_size: int
     saved_bytes: int
     fwd_time: float
+    bwd_time: float = 0.0
+
+    def __repr__(self) -> str:  # noqa: D105 — digest-format contract below
+        # ``RunResult.digest`` hashes measurement tuples through repr().
+        # The digest-parity goldens predate backward measurement, so the
+        # repr deliberately renders the original four fields only:
+        # ``bwd_time`` reaches digests indirectly, through every hybrid
+        # plan it re-prices (cf. ``planning_time``, excluded for being
+        # wall-clock; this field is excluded for golden stability).
+        return (
+            f"{type(self).__qualname__}(unit_name={self.unit_name!r}, "
+            f"input_size={self.input_size!r}, "
+            f"saved_bytes={self.saved_bytes!r}, "
+            f"fwd_time={self.fwd_time!r})"
+        )
 
 
 @dataclass(frozen=True, slots=True)

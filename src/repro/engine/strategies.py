@@ -12,7 +12,9 @@ execution modes lives here, in one strategy class per mode:
   al.); swap units ride the PCIe copy engine (Capuchin-style hybrid).
 * :class:`CollectStrategy` — Mimose's sheltered execution: every
   checkpointable unit is checkpointed (Sublinear footprint) and runs its
-  forward twice (Fig 7), emitting per-unit measurements.
+  forward twice (Fig 7), emitting per-unit measurements; the sheltered
+  backward additionally stamps each unit's backward duration onto its
+  measurement (the series the swap cost model prices overlap from).
 * :class:`ReactiveStrategy` — DTR semantics: nothing is dropped up
   front; allocations that would exceed the logical budget (or that
   physically fail) trigger the planner's ``on_oom`` eviction.
@@ -44,10 +46,11 @@ sensitive** (addition is not associative), so the sequence of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import TYPE_CHECKING, ClassVar, Optional
 
 from repro.engine.events import (
+    BackwardMeasured,
     MeasurementTaken,
     SwapIn,
     SwapOut,
@@ -587,10 +590,36 @@ class CollectStrategy(ExecutionStrategy):
             ctx.emit_unit_forward(rt, unit.checkpointable)
 
     def run_backward(self, ctx: IterationContext) -> None:
+        # The sheltered backward is also a measurement pass: each
+        # checkpointable unit's backward duration is stamped onto its
+        # pending measurement (via BackwardMeasured), giving the
+        # collector the backward series the cost model prices swap
+        # overlap windows from — measured execution, not a ratio.  The
+        # stopwatch is the *simulated* clock charge, never host time
+        # (replint's wall-clock rule keeps it that way).
+        noise_rng = ctx.executor.noise_rng
+        checkpointable = {
+            u.name for u in ctx.model.units if u.checkpointable
+        }
         for rt in reversed(ctx.runtimes):
             self.recompute_if_needed(ctx, rt)
             _, bwd_t = ctx.times(rt.profile)
             ctx.charge("bwd", bwd_t)
+            if rt.name in checkpointable:
+                meas_t = bwd_t
+                if noise_rng is not None:
+                    # drawn after every forward-pass jitter of this
+                    # iteration, so the forward noise stream (and every
+                    # pre-extension measurement) is unchanged
+                    meas_t = bwd_t * max(
+                        1.0 + noise_rng.normal(
+                            0.0, ctx.executor.measurement_noise
+                        ),
+                        0.0,
+                    )
+                ctx.bus.emit(
+                    BackwardMeasured(ctx.iteration, rt.name, meas_t)
+                )
             ctx.release_unit(rt)
             ctx.emit_unit_backward(rt)
 
@@ -791,6 +820,7 @@ class StatsBuilder:
         self._eviction_search = 0.0
         self._planning = 0.0
         self._measurements: list[UnitMeasurement] = []
+        self._meas_index: dict[str, int] = {}
         self._num_checkpointed = 0
         self._evictions = 0
         self._num_swapped = 0
@@ -799,7 +829,7 @@ class StatsBuilder:
         bus.subscribe(
             self,
             TimeCharged, UnitForward, MeasurementTaken,
-            TensorEvicted, SwapOut,
+            BackwardMeasured, TensorEvicted, SwapOut,
         )
         return self
 
@@ -808,6 +838,7 @@ class StatsBuilder:
         self._planning = planning_time
         self._eviction_search = 0.0
         self._measurements = []
+        self._meas_index = {}
         self._num_checkpointed = 0
         self._evictions = 0
         self._num_swapped = 0
@@ -823,7 +854,19 @@ class StatsBuilder:
             if event.checkpointed:
                 self._num_checkpointed += 1
         elif t is MeasurementTaken:
+            self._meas_index[event.measurement.unit_name] = len(
+                self._measurements
+            )
             self._measurements.append(event.measurement)
+        elif t is BackwardMeasured:
+            # complete the unit's forward-pass measurement in place; the
+            # measurements tuple keeps forward emission order, so digests
+            # and every order-sensitive consumer are unaffected
+            i = self._meas_index.get(event.unit)
+            if i is not None:
+                self._measurements[i] = dc_replace(
+                    self._measurements[i], bwd_time=event.seconds
+                )
         elif t is TensorEvicted:
             self._evictions += 1
         elif t is SwapOut:

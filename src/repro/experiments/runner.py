@@ -52,16 +52,25 @@ SCHEDULER_NAMES = ("greedy", "knapsack", "hybrid")
 
 
 def make_scheduler(
-    name: str, *, device: Optional[DeviceModel] = None
+    name: str,
+    *,
+    device: Optional[DeviceModel] = None,
+    bwd_ratio: Optional[float] = None,
 ) -> Scheduler:
-    """Construct a scheduling strategy by name (``SCHEDULER_NAMES``)."""
+    """Construct a scheduling strategy by name (``SCHEDULER_NAMES``).
+
+    ``bwd_ratio`` forces the hybrid cost model's ratio pricing instead of
+    measured backward times (``--bwd-ratio`` on the CLI); it is an
+    explicit override only — the default is measured pricing with the
+    labelled :data:`PcieCostModel.DEFAULT_BWD_RATIO` fallback.
+    """
     if name == "greedy":
         return GreedyScheduler()
     if name == "knapsack":
         return KnapsackScheduler()
     if name == "hybrid":
         return HybridGreedyScheduler(
-            PcieCostModel(device or DeviceModel(V100))
+            PcieCostModel(device or DeviceModel(V100), bwd_ratio=bwd_ratio)
         )
     raise KeyError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
 
@@ -73,17 +82,25 @@ def make_planner(
     *,
     device: Optional[DeviceModel] = None,
     scheduler: Optional[str] = None,
+    bwd_ratio: Optional[float] = None,
 ) -> Planner:
     """Construct a planner by name, wired to the task's offline knowledge.
 
     Static planners receive the shapes their papers allow them to know
     offline; Mimose receives only the budget (plus, optionally, a named
     scheduling strategy for its excess-covering step — the only planner
-    whose scheduler is runtime-pluggable).
+    whose scheduler is runtime-pluggable).  ``bwd_ratio`` forces ratio
+    pricing in the hybrid scheduler's cost model and is rejected
+    elsewhere (only the hybrid path prices swaps).
     """
     if scheduler is not None and name != "mimose":
         raise ValueError(
             f"--scheduler applies to the mimose planner only, not {name!r}"
+        )
+    if bwd_ratio is not None and scheduler != "hybrid":
+        raise ValueError(
+            "--bwd-ratio applies to the hybrid scheduler only; pass "
+            "--scheduler hybrid"
         )
     if name == "baseline":
         return NoCheckpointPlanner(budget_bytes)
@@ -109,7 +126,10 @@ def make_planner(
         if scheduler is None:
             return MimosePlanner(budget_bytes)
         return MimosePlanner(
-            budget_bytes, scheduler=make_scheduler(scheduler, device=device)
+            budget_bytes,
+            scheduler=make_scheduler(
+                scheduler, device=device, bwd_ratio=bwd_ratio
+            ),
         )
     raise KeyError(f"unknown planner {name!r}; available: {PLANNER_NAMES}")
 
@@ -126,6 +146,7 @@ def run_task(
     max_retries: int = 3,
     observers: Sequence[Callable[[TrainingExecutor], None]] = (),
     scheduler: Optional[str] = None,
+    bwd_ratio: Optional[float] = None,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -148,12 +169,19 @@ def run_task(
 
     ``scheduler`` names one of :data:`SCHEDULER_NAMES` for Mimose's
     excess-covering step (``--scheduler`` on the CLI); ``None`` keeps the
-    planner's default.  Rejected for non-Mimose planners.
+    planner's default.  Rejected for non-Mimose planners.  ``bwd_ratio``
+    forces the hybrid cost model's ratio pricing (``--bwd-ratio``);
+    rejected without ``scheduler="hybrid"``.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
     planner = make_planner(
-        planner_name, budget_bytes, task, device=device, scheduler=scheduler
+        planner_name,
+        budget_bytes,
+        task,
+        device=device,
+        scheduler=scheduler,
+        bwd_ratio=bwd_ratio,
     )
     planner.setup(ModelView(model))
     capacity = (

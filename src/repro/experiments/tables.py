@@ -218,12 +218,14 @@ def table4_rows(
         sub = ShuttlingCollector(min_iterations=1, min_distinct_sizes=3)
         # replay only the first num_samples iterations' worth of samples
         data = collector.training_data()
-        for unit, (sizes, bytes_, times) in data.items():
+        for unit, (sizes, bytes_, times, bwd_times) in data.items():
             from repro.engine.stats import UnitMeasurement
 
             sub.ingest(
-                UnitMeasurement(unit, s, b, t)
-                for s, b, t in list(zip(sizes, bytes_, times))[:num_samples]
+                UnitMeasurement(unit, s, b, t, bt)
+                for s, b, t, bt in list(
+                    zip(sizes, bytes_, times, bwd_times)
+                )[:num_samples]
             )
         estimator = LightningMemoryEstimator(lambda: make_regressor(name))
         train_time = estimator.fit(sub)

@@ -193,6 +193,64 @@ def test_cli_run_scheduler_hybrid_mixes_actions(capsys):
     )
 
 
+def test_cli_run_reports_measured_pricing_and_ratio_override(capsys):
+    base = [
+        "run", "--task", "TC-Bert", "--planner", "mimose",
+        "--scheduler", "hybrid", "--budget-gb", "2.5",
+        "--iterations", "30",
+    ]
+    assert repro_main(base) == 0
+    assert "swap pricing: measured-bwd" in capsys.readouterr().out
+    assert repro_main(base + ["--bwd-ratio", "2.0"]) == 0
+    assert "swap pricing: ratio-override" in capsys.readouterr().out
+
+
+def test_hybrid_pricing_modes_both_run_on_grid_model():
+    """Measured vs forced-ratio pricing on a digest-grid model: both runs
+    must succeed within budget; the greedy (recompute-only) run from the
+    same grid point never swaps."""
+    task = load_task("TC-Bert", iterations=30, seed=0)
+    measured = run_task(
+        task, "mimose", int(2.5 * GB), max_iterations=30, scheduler="hybrid"
+    )
+    task = load_task("TC-Bert", iterations=30, seed=0)
+    ratio = run_task(
+        task,
+        "mimose",
+        int(2.5 * GB),
+        max_iterations=30,
+        scheduler="hybrid",
+        bwd_ratio=2.0,
+    )
+    task = load_task("TC-Bert", iterations=30, seed=0)
+    greedy = run_task(task, "mimose", int(2.5 * GB), max_iterations=30)
+    for result in (measured, ratio, greedy):
+        assert result.succeeded
+        assert result.peak_reserved <= int(2.5 * GB)
+    assert all(s.num_swapped == 0 for s in greedy.iterations)
+    assert any(s.num_swapped > 0 for s in measured.iterations)
+    assert any(s.num_swapped > 0 for s in ratio.iterations)
+
+
+def test_cli_rejects_bwd_ratio_without_hybrid_scheduler():
+    with pytest.raises(SystemExit, match="hybrid"):
+        repro_main(
+            [
+                "run", "--task", "TC-Bert", "--planner", "mimose",
+                "--budget-gb", "2.5", "--iterations", "5",
+                "--bwd-ratio", "2.0",
+            ]
+        )
+    with pytest.raises(ValueError, match="hybrid"):
+        run_task(
+            load_task("TC-Bert", iterations=2, seed=0),
+            "mimose",
+            int(2.5 * GB),
+            max_iterations=2,
+            bwd_ratio=2.0,
+        )
+
+
 def test_cli_rejects_scheduler_for_non_mimose_planner():
     with pytest.raises(SystemExit, match="mimose"):
         repro_main(

@@ -43,10 +43,28 @@ def test_collector_accumulates_per_unit():
 def test_collector_training_data_layout():
     c = ShuttlingCollector(min_iterations=1)
     fill(c, [10, 20], units=("u",))
-    sizes, mems, times = c.training_data()["u"]
+    sizes, mems, times, bwd_times = c.training_data()["u"]
     assert sizes == [10, 20]
     assert mems == [1000, 2000]
     assert all(t > 0 for t in times)
+    # fill() stamps no backward measurement, so the series is all-zero
+    assert bwd_times == [0.0, 0.0]
+
+
+def test_collector_readiness_is_per_unit():
+    # unit "b" appears at a single input size; the union of sizes across
+    # units satisfies min_distinct_sizes but "b"'s own fit would be
+    # degenerate, so the collector must not report ready.
+    c = ShuttlingCollector(min_iterations=1, min_distinct_sizes=3)
+    for s in (100, 200, 300, 400):
+        c.ingest([measure("a", s)])
+    c.ingest([measure("b", 100)])
+    assert c.distinct_sizes >= 3  # global union looks healthy
+    assert c.distinct_sizes_for("b") == 1
+    assert not c.is_ready()
+    for s in (200, 300):
+        c.ingest([measure("b", s)])
+    assert c.is_ready()
 
 
 def test_collector_empty_ingest_does_not_count():
@@ -170,6 +188,56 @@ def test_estimator_evaluate_report():
     assert report.predict_latency_s > 0
     with pytest.raises(ValueError):
         est.evaluate({})
+
+
+def bwd_collector(sizes=(100, 400, 800, 1500, 2500, 4000, 6000)):
+    """Collector whose backward times are NOT 2x the forwards."""
+    c = ShuttlingCollector(min_iterations=1)
+    for s in sizes:
+        c.ingest(
+            [
+                UnitMeasurement("enc.0", s, quad_mem(s), 1e-4 * s, 1.3e-4 * s),
+                UnitMeasurement("enc.1", s, 2 * quad_mem(s), 2e-4 * s, 5.4e-4 * s),
+            ]
+        )
+    return c
+
+
+def test_estimator_fits_backward_times_when_measured():
+    est = LightningMemoryEstimator()
+    est.fit(bwd_collector())
+    assert est.has_bwd_data
+    assert est.predict_bwd_time("enc.0", 2000) == pytest.approx(0.26, rel=0.05)
+    assert est.predict_bwd_time("enc.1", 2000) == pytest.approx(1.08, rel=0.05)
+    per_unit = est.predict_all_bwd_times(2000)
+    assert per_unit == {
+        u: est.predict_bwd_time(u, 2000) for u in ("enc.0", "enc.1")
+    }
+
+
+def test_estimator_no_backward_data_means_no_bwd_models():
+    # quadratic_collector never stamps bwd_time, so the series is all-zero
+    # and fitting a backward model would silently predict 0 -> never swap.
+    est = LightningMemoryEstimator()
+    est.fit(quadratic_collector())
+    assert not est.has_bwd_data
+    with pytest.raises(KeyError):
+        est.predict_bwd_time("enc.0", 100)
+    with pytest.raises(RuntimeError):
+        est.predict_all_bwd_times(100)
+
+
+def test_estimator_bwd_cache_cleared_on_refit():
+    est = LightningMemoryEstimator()
+    est.fit(bwd_collector())
+    before = est.predict_all_bwd_times(2000)
+    # refit with scaled backwards; memoised results must not survive
+    c = ShuttlingCollector(min_iterations=1)
+    for s in (100, 400, 800, 1500):
+        c.ingest([UnitMeasurement("enc.0", s, quad_mem(s), 1e-4 * s, 2.6e-4 * s)])
+    est.fit(c)
+    after = est.predict_all_bwd_times(2000)
+    assert after["enc.0"] == pytest.approx(2 * before["enc.0"], rel=0.05)
 
 
 def test_estimator_custom_factory():

@@ -6,16 +6,25 @@ from hypothesis import strategies as st
 
 from repro.core.scheduler import (
     GreedyScheduler,
+    HybridGreedyScheduler,
     KnapsackScheduler,
+    PcieCostModel,
     SchedulerInput,
+    predicted_swap_stall,
 )
 
 MB = 1 << 20
 
 
-def inp(est, excess, order=None, est_time=None):
+def inp(est, excess, order=None, est_time=None, bwd_time=None):
     order = order or {u: i for i, u in enumerate(est)}
-    return SchedulerInput(est_bytes=est, order=order, excess_bytes=excess, est_time=est_time)
+    return SchedulerInput(
+        est_bytes=est,
+        order=order,
+        excess_bytes=excess,
+        est_time=est_time,
+        bwd_time=bwd_time,
+    )
 
 
 def test_no_excess_returns_empty():
@@ -135,6 +144,119 @@ def test_knapsack_insufficient_capacity_drops_all():
     s = KnapsackScheduler()
     est = {"a": 2 * MB, "b": 2 * MB}
     assert s.schedule(inp(est, 100 * MB)) == frozenset(est)
+
+
+def test_knapsack_sub_quantum_unit_cannot_cover_excess():
+    """Regression: with ``max(1, bytes // QUANTUM)`` a 10-byte unit counted
+    as a full MiB, so the DP declared a 1 MiB excess covered by dropping
+    only ``tiny`` — freeing 10 real bytes.  Rounding down (and excluding
+    zero-quantum units) forces a selection whose real bytes reach the
+    excess."""
+    s = KnapsackScheduler()
+    est = {"tiny": 10, "big": 2 * MB}
+    times = {"tiny": 0.001, "big": 1.0}  # the DP would love to pick tiny
+    chosen = s.schedule(inp(est, 1 * MB, est_time=times))
+    assert sum(est[u] for u in chosen) >= 1 * MB
+    assert "big" in chosen
+
+
+def test_knapsack_all_sub_quantum_falls_back_to_drop_all():
+    s = KnapsackScheduler()
+    est = {"a": 10, "b": 300_000, "c": 500_000}
+    chosen = s.schedule(inp(est, 600_000))
+    # nothing reaches a quantum, so coverage cannot be guaranteed; the
+    # falls-short fallback drops everything (sub-quantum units included)
+    assert chosen == frozenset(est)
+
+
+# ------------------------------------------------------------- cost model
+
+GBPS = 10**9
+
+
+def timed_inp(excess=100 * MB, bwd_time=None):
+    est = {"a": 120 * MB, "b": 80 * MB}
+    est_time = {"a": 0.1, "b": 0.3}
+    return inp(est, excess, est_time=est_time, bwd_time=bwd_time)
+
+
+def test_overlap_window_prefers_measured_backwards():
+    model = PcieCostModel(pcie_bandwidth=GBPS)
+    measured = timed_inp(bwd_time={"a": 0.3, "b": 0.5})
+    assert model.overlap_window(measured) == pytest.approx(0.4)
+    assert model.pricing_mode(measured) == "measured-bwd"
+
+
+def test_overlap_window_ratio_fallback_without_backwards():
+    model = PcieCostModel(pcie_bandwidth=GBPS)
+    unmeasured = timed_inp()
+    # DEFAULT_BWD_RATIO x mean forward = 2.0 x 0.2
+    assert model.overlap_window(unmeasured) == pytest.approx(0.4)
+    assert model.pricing_mode(unmeasured) == "ratio-fallback"
+
+
+def test_overlap_window_explicit_ratio_overrides_measured():
+    model = PcieCostModel(pcie_bandwidth=GBPS, bwd_ratio=3.0)
+    measured = timed_inp(bwd_time={"a": 9.0, "b": 9.0})
+    # the override wins even though measured backwards are present
+    assert model.overlap_window(measured) == pytest.approx(3.0 * 0.2)
+    assert model.pricing_mode(measured) == "ratio-override"
+
+
+def test_untimed_input_never_swaps():
+    model = PcieCostModel(pcie_bandwidth=GBPS)
+    untimed = inp({"a": 120 * MB, "b": 80 * MB}, 100 * MB)
+    assert model.recompute_cost("a", untimed) == 0.0
+    assert model.overlap_window(untimed) == 0.0
+    assert model.pricing_mode(untimed) == "untimed"
+    assignment = HybridGreedyScheduler(model).assign(untimed)
+    assert assignment.swap_units == frozenset()
+    assert assignment.checkpoint_units  # excess still covered by recompute
+
+
+def test_hybrid_assignment_differs_between_pricing_modes():
+    """The folk 2x constant claims a wide overlap window, so transfers
+    look free and the hybrid swaps; the measured backwards here are much
+    shorter, so the same units are recomputed instead."""
+    measured = timed_inp(bwd_time={"a": 0.001, "b": 0.001})
+    by_measured = HybridGreedyScheduler(
+        PcieCostModel(pcie_bandwidth=GBPS)
+    ).assign(measured)
+    by_ratio = HybridGreedyScheduler(
+        PcieCostModel(pcie_bandwidth=GBPS, bwd_ratio=2.0)
+    ).assign(measured)
+    assert by_ratio.swap_units  # window 0.4 s hides the ~0.13 s transfers
+    assert not by_measured.swap_units  # window 1 ms hides nothing
+    assert by_measured != by_ratio
+    # either way the excess is covered
+    est = measured.est_bytes
+    for assignment in (by_measured, by_ratio):
+        assert sum(est[u] for u in assignment.units) >= measured.excess_bytes
+
+
+def test_hybrid_and_greedy_agree_when_swapping_never_pays():
+    measured = timed_inp(bwd_time={"a": 0.0, "b": 0.0})
+    hybrid = HybridGreedyScheduler(PcieCostModel(pcie_bandwidth=GBPS))
+    assignment = hybrid.assign(measured)
+    assert not assignment.swap_units
+    # recompute-only view covers like the greedy contract requires
+    covered = sum(measured.est_bytes[u] for u in assignment.checkpoint_units)
+    assert covered >= measured.excess_bytes
+
+
+def test_predicted_swap_stall_matches_loop_pricing():
+    model = PcieCostModel(pcie_bandwidth=GBPS, bwd_ratio=2.0)
+    measured = timed_inp()
+    assignment = HybridGreedyScheduler(model).assign(measured)
+    window = model.overlap_window(measured)
+    expect = sum(
+        max(0.0, model.transfer_time(measured.est_bytes[u]) - window)
+        for u in assignment.swap_units
+    )
+    assert predicted_swap_stall(model, assignment, measured) == expect
+    # empty assignment -> no stall
+    empty = HybridGreedyScheduler(model).assign(timed_inp(excess=0))
+    assert predicted_swap_stall(model, empty, measured) == 0.0
 
 
 # --------------------------------------------------------------- properties

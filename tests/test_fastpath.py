@@ -254,7 +254,8 @@ def _fake_data(num_units=20, seed=0):
         sizes = sorted(int(s) for s in rng.integers(100, 50_000, size=n))
         bytes_ = [s * s * (i + 1) * 1e-3 + float(rng.normal()) for s in sizes]
         times = [s * (i + 1) * 1e-7 for s in sizes]
-        data[f"u{i}"] = (sizes, bytes_, times)
+        bwd_times = [1.7 * t + 1e-6 for t in times]
+        data[f"u{i}"] = (sizes, bytes_, times, bwd_times)
     return data
 
 

@@ -86,6 +86,29 @@ def test_wallclock_rule_flags_host_time(snippet):
     assert rule_ids(analyze_sources({"m.py": snippet})) == {"wall-clock"}
 
 
+def test_wallclock_backward_stopwatch_stays_on_simulated_clock():
+    """The COLLECT backward "stopwatch" in ``CollectStrategy`` times units
+    off the simulated clock charge, never host time — so the strategies
+    module must pass the wall-clock rule WITHOUT being allowlisted, and
+    the pyproject allow list must not quietly grow to include it."""
+    strategies = REPO_ROOT / "src/repro/engine/strategies.py"
+    source = strategies.read_text()
+    assert "BackwardMeasured" in source  # the stopwatch site exists
+    rules = create_rules(select=["wall-clock"])
+    findings = analyze_sources(
+        {"src/repro/engine/strategies.py": source}, rules
+    )
+    assert findings == []
+    config = _parse_minimal_toml((REPO_ROOT / "pyproject.toml").read_text())
+    allow = (
+        config["tool"]["replint"]["rules"]["wall-clock"]["allow"]
+    )
+    assert "src/repro/engine/strategies.py" not in allow
+    # the sanctioned genuine-overhead stopwatch sites are still exempt
+    assert "src/repro/core/estimator.py" in allow
+    assert "src/repro/core/planner.py" in allow
+
+
 def test_wallclock_rule_allows_simulated_clock_and_allowlisted_files():
     clean = "def charge(clock, dt):\n    return clock.now + dt\n"
     assert analyze_sources({"m.py": clean}) == []
