@@ -20,7 +20,7 @@ def bench_table3_overhead(benchmark, results_dir):
             "task", "budget_gb", "mean_iter_ms", "collector_ms",
             "collector_iters", "fit_ms", "estimator_scheduler_ms_min",
             "estimator_scheduler_ms_max", "plans_generated",
-            "total_overhead_iters",
+            "total_overhead_iters", "replay_hit_pct", "compiled_hit_pct",
         ],
         title="Table III: Mimose overhead breakdown (150-iteration epochs)",
     )
@@ -38,8 +38,13 @@ def bench_table3_overhead(benchmark, results_dir):
         # and made this bench flake.
         assert r["estimator_scheduler_ms_max"] < 10.0, r
         assert r["fit_ms"] >= 0.0, r
-        # plans are generated far less often than once per iteration
+        # Plans are generated far less often than once per iteration.
+        # This is a structural count (plan-cache misses), not the old
+        # wall-clock "planning_time > 0.1 ms" threshold.
         assert r["plans_generated"] < 150, r
+    # total_overhead also excludes the one-time fit (it is gated here,
+    # so keeping the fit in made the bound machine-dependent — the last
+    # flake source in this bench).
     mean_overhead = sum(r["total_overhead_iters"] for r in rows) / len(rows)
     # the paper reports 3.48 iterations on average; ours lands in the same
     # few-iterations regime

@@ -132,6 +132,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         budget,
         max_iterations=args.iterations,
         observers=observers if is_baseline_run else (),
+        compiled=not args.no_compiled,
     )
     result = (
         baseline
@@ -146,6 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             observers=observers,
             scheduler=scheduler,
             bwd_ratio=args.bwd_ratio,
+            compiled=not args.no_compiled,
         )
     )
     breakdown = result.time_breakdown()
@@ -164,6 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "recovered": result.recovered_count,
             "plan_cache": f"{result.plan_cache_hit_rate:.0%}",
             "replay": f"{result.replay_hit_rate:.0%}",
+            "compiled": f"{result.compiled_hit_rate:.0%}",
         }
     ]
     title = f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)"
@@ -207,6 +210,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         faults=faults,
         max_retries=args.max_retries,
         jobs=args.jobs,
+        compiled=not args.no_compiled,
     )
     baseline = next(r for r in results if r.planner_name == "baseline")
     rows = []
@@ -291,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach an event-bus counter and print per-event totals",
     )
+    run_p.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help=(
+            "disable the compiled-template tier (near-recurrence fast "
+            "path); results are bit-identical either way"
+        ),
+    )
     _add_fault_options(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -307,6 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the grid (results are byte-identical "
             "to --jobs 1, in the same order)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help=(
+            "disable the compiled-template tier (near-recurrence fast "
+            "path); results are bit-identical either way"
         ),
     )
     _add_fault_options(sweep_p)

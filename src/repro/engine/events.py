@@ -187,6 +187,20 @@ class ReplayHit:
 
 
 @dataclass(frozen=True, slots=True)
+class CompiledHit:
+    """The iteration was served by evaluating a compiled template.
+
+    The middle tier of the executor's lookup ladder: the exact world did
+    not recur (new input size), but the world *class* did, and its
+    certified template's feasibility constraints accepted the new size.
+    """
+
+    iteration: int
+    base_time: float  # simulated clock after the planning charge
+    sim_time: float  # evaluated simulated duration being applied
+
+
+@dataclass(frozen=True, slots=True)
 class IterationEnd:
     """The iteration's stats are final (replayed or fully simulated)."""
 

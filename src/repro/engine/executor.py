@@ -25,11 +25,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.compiled import CompiledCache
 from repro.engine.events import (
-    EventBus, FaultArmObserver, IterationEnd, IterationStart, OomHit,
-    RecoveryRung, ReplayHit, ReplayPointRecorder, TimelineObserver,
+    CompiledHit, EventBus, FaultArmObserver, IterationEnd, IterationStart,
+    OomHit, RecoveryRung, ReplayHit, ReplayPointRecorder, TimelineObserver,
 )
-from repro.engine.replay import ReplayCache, ReplayRecord
+from repro.engine.replay import ReplayCache, ReplayKey, ReplayRecord
 from repro.engine.stats import IterationStats
 from repro.engine.strategies import (
     ExecutionStrategy, IterationContext, StatsBuilder, SwapEngine,
@@ -82,6 +83,9 @@ class TrainingExecutor:
             supports recovery (see :meth:`step`); 0 makes any OOM fatal.
         replay: enable the iteration replay cache
             (:mod:`repro.engine.replay`).
+        compiled: enable the compiled-template tier
+            (:mod:`repro.engine.compiled`); requires ``replay`` (the
+            compiled tier shares replay's eligibility proof and key).
 
     Attach observers to :attr:`events`; the engine's own subscribers
     (fault arming, stats, timeline, replay capture) register first.
@@ -102,6 +106,7 @@ class TrainingExecutor:
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         max_recovery_retries: int = 3,
         replay: bool = True,
+        compiled: bool = True,
     ) -> None:
         self.model = model
         self.planner = planner
@@ -124,6 +129,11 @@ class TrainingExecutor:
             faults.build() if isinstance(faults, FaultPlan) else faults
         )
         self.replay: Optional[ReplayCache] = ReplayCache() if replay else None
+        self.compiled: Optional[CompiledCache] = (
+            CompiledCache() if (replay and compiled) else None
+        )
+        self._sig_cache: Optional[tuple] = None
+        self._sig_version: Optional[tuple] = None
         self._iteration = 0
         self._time_cache: dict[tuple[str, TensorSpec], tuple[float, float]] = {}
         self._static_blocks = self._allocate_static()
@@ -238,10 +248,12 @@ class TrainingExecutor:
     def run_iteration(self, batch: BatchInput, decision: PlanDecision) -> IterationStats:
         """Execute one iteration under an explicit plan decision.
 
-        Fast path: a replay record proving this iteration's world (mode,
-        plan, batch shape, allocator state) identical to one already
-        simulated is served without touching the allocator; otherwise
-        simulate in full and — if the allocator round-trips — record.
+        Three-tier lookup: a replay record proving this iteration's world
+        (mode, plan, batch shape, allocator state) identical to one
+        already simulated is served without touching the allocator; on a
+        miss, a certified compiled template for the same world *class*
+        (any batch size) is evaluated symbolically; otherwise simulate in
+        full and — if the allocator round-trips — record (and certify).
         """
         self._iteration += 1
         iteration = self._iteration
@@ -259,44 +271,81 @@ class TrainingExecutor:
             record = self.replay.lookup(replay_key)
             if record is not None:
                 return self._replay_iteration(iteration, decision, record)
+            if self.compiled is not None:
+                served = self.compiled.serve(
+                    self, batch, decision, replay_key, iteration
+                )
+                if served is not None:
+                    return self._compiled_iteration(
+                        iteration, decision, replay_key, served
+                    )
         return self._simulate(batch, decision, iteration, strategy, replay_key)
 
     def invalidate_replay(self) -> None:
-        """Drop all replay records (external world change, e.g. a planner
-        reserve reconfiguration between iterations)."""
+        """Drop all replay records and compiled templates (external world
+        change, e.g. a planner reserve reconfiguration between iterations)."""
         if self.replay is not None:
             self.replay.invalidate()
+        if self.compiled is not None:
+            self.compiled.invalidate()
+
+    def _state_signature(self) -> tuple:
+        """The allocator signature, cached until the allocator mutates.
+
+        Serving an iteration from replay or a compiled template leaves
+        the allocator untouched, so steady-state streams re-fingerprint
+        an unchanged state every iteration; the version triple is bumped
+        by every malloc, free and segment reserve/release.
+        """
+        alloc = self.allocator
+        stats = alloc.stats
+        version = (stats.num_allocs, stats.num_frees, stats.bytes_reserved)
+        if version != self._sig_version:
+            self._sig_cache = alloc.state_signature()
+            self._sig_version = version
+        return self._sig_cache
 
     def _replay_key(
         self,
         batch: BatchInput,
         decision: PlanDecision,
         strategy: ExecutionStrategy,
-    ) -> Optional[tuple]:
+    ) -> Optional[ReplayKey]:
         """The replay fingerprint, or None if the iteration must be
         simulated.  The bypass/invalidate ladder is ordered; its counters
         are public contract (see :mod:`repro.engine.replay`)."""
         cache = self.replay
+        compiled = self.compiled
         if cache is None:
             return None
         if not strategy.replayable:  # history-dependent (reactive) mode
             cache.bypasses += 1
+            if compiled is not None:
+                compiled.bypasses += 1
             return None
         if decision.recovery_mode:  # escalation ladder moved the reserves
             cache.bypasses += 1
             cache.invalidate()
+            if compiled is not None:
+                compiled.bypasses += 1
+                compiled.invalidate()
             return None
         if self.faults is not None and not self.faults.quiet():
             cache.bypasses += 1  # the fault window perturbs the world
             cache.invalidate()
+            if compiled is not None:
+                compiled.bypasses += 1
+                compiled.invalidate()
             return None
         if not strategy.allows_replay(self):  # e.g. stateful noise stream
             cache.bypasses += 1
+            if compiled is not None:
+                compiled.bypasses += 1
             return None
         return ReplayCache.key(
             decision,
             batch,
-            self.allocator.state_signature(),
+            self._state_signature(),
             timeline_active=self.timeline is not None and self.timeline.enabled,
         )
 
@@ -317,13 +366,41 @@ class TrainingExecutor:
         self.events.emit(IterationEnd(stats))
         return stats
 
+    def _compiled_iteration(
+        self,
+        iteration: int,
+        decision: PlanDecision,
+        replay_key: ReplayKey,
+        served: tuple[IterationStats, float],
+    ) -> IterationStats:
+        """Apply one compiled-template evaluation (allocator untouched).
+
+        The evaluated world round-tripped by construction (the template's
+        steady-state conditions held), so the result is also promoted to
+        the exact tier: the same world at the same size replays from now
+        on without re-evaluating the template.
+        """
+        stats, sim_time = served
+        self.clock.advance(decision.planning_time)
+        if self.events.wants(CompiledHit):
+            self.events.emit(CompiledHit(iteration, self.clock.now, sim_time))
+        self.clock.advance(sim_time)
+        self.replay.store(
+            replay_key,
+            ReplayRecord(
+                stats=replace(stats, planning_time=0.0), sim_time=sim_time
+            ),
+        )
+        self.events.emit(IterationEnd(stats))
+        return stats
+
     def _simulate(
         self,
         batch: BatchInput,
         decision: PlanDecision,
         iteration: int,
         strategy: ExecutionStrategy,
-        replay_key: Optional[tuple],
+        replay_key: Optional[ReplayKey],
     ) -> IterationStats:
         alloc = self.allocator
         alloc.reset_peaks()
@@ -380,24 +457,29 @@ class TrainingExecutor:
                 # reserves/margins will move in response; stale records
                 # must not outlive the pressure event
                 self.replay.invalidate()
+            if self.compiled is not None:
+                self.compiled.invalidate()
             if self.raise_on_oom:
                 raise IterationOOM(stats)
             return stats
         if (
             replay_key is not None
-            and alloc.state_signature() == ReplayCache.signature_of(replay_key)
+            and self._state_signature() == replay_key.signature
         ):
             # Steady state proven: the iteration left the allocator exactly
             # as it found it, so replaying it later is indistinguishable
             # from re-simulating it.
-            self.replay.store(
-                replay_key,
-                ReplayRecord(
-                    stats=replace(stats, planning_time=0.0),
-                    sim_time=self.clock.now - sim_start,
-                    points=points,
-                ),
+            record = ReplayRecord(
+                stats=replace(stats, planning_time=0.0),
+                sim_time=self.clock.now - sim_start,
+                points=points,
             )
+            self.replay.store(replay_key, record)
+            if self.compiled is not None:
+                # one-off certification attempt for this world class
+                self.compiled.maybe_certify(
+                    self, batch, decision, replay_key, record
+                )
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

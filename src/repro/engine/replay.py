@@ -54,11 +54,33 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from repro.engine.stats import IterationStats
 from repro.models.base import BatchInput
 from repro.planners.base import PlanDecision
+
+if TYPE_CHECKING:
+    from repro.planners.base import ActionAssignment, ExecutionMode
+
+
+class ReplayKey(NamedTuple):
+    """Typed iteration-world fingerprint (see module docstring).
+
+    Shared by the replay tier and the compiled tier: replay requires the
+    *whole* key to recur; the compiled tier derives its coarser world-class
+    key from the same fields (dropping shape/prediction, which it treats
+    symbolically).
+    """
+
+    mode: "ExecutionMode"
+    assignment: "ActionAssignment"
+    label: str
+    predicted_peak_bytes: int
+    shape: tuple
+    dtype: str
+    signature: tuple
+    timeline_active: bool
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,7 +121,7 @@ class ReplayCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._records: OrderedDict[tuple, ReplayRecord] = OrderedDict()
+        self._records: OrderedDict[ReplayKey, ReplayRecord] = OrderedDict()
         self.hits = 0
         self.misses = 0
         #: eligible iterations skipped because the world was perturbed
@@ -118,25 +140,20 @@ class ReplayCache:
         allocator_signature: tuple,
         *,
         timeline_active: bool,
-    ) -> tuple:
+    ) -> ReplayKey:
         """The iteration-world fingerprint (see module docstring)."""
-        return (
-            decision.mode,
-            decision.plan.assignment,
-            decision.plan.label,
-            decision.plan.predicted_peak_bytes,
-            batch.shape,
-            batch.dtype,
-            allocator_signature,
-            timeline_active,
+        return ReplayKey(
+            mode=decision.mode,
+            assignment=decision.plan.assignment,
+            label=decision.plan.label,
+            predicted_peak_bytes=decision.plan.predicted_peak_bytes,
+            shape=batch.shape,
+            dtype=batch.dtype,
+            signature=allocator_signature,
+            timeline_active=timeline_active,
         )
 
-    @staticmethod
-    def signature_of(key: tuple) -> tuple:
-        """The allocator signature component of a :meth:`key` tuple."""
-        return key[6]
-
-    def lookup(self, key: tuple) -> Optional[ReplayRecord]:
+    def lookup(self, key: ReplayKey) -> Optional[ReplayRecord]:
         record = self._records.get(key)
         if record is None:
             self.misses += 1
@@ -145,7 +162,7 @@ class ReplayCache:
         self.hits += 1
         return record
 
-    def store(self, key: tuple, record: ReplayRecord) -> None:
+    def store(self, key: ReplayKey, record: ReplayRecord) -> None:
         self._records[key] = record
         self._records.move_to_end(key)
         if len(self._records) > self.max_entries:

@@ -139,6 +139,8 @@ class RunResult:
     plan_cache_misses: int = 0
     replay_hits: int = 0
     replay_misses: int = 0
+    compiled_hits: int = 0
+    compiled_misses: int = 0
 
     def append(self, stats: IterationStats) -> None:
         self.iterations.append(stats)
@@ -233,6 +235,17 @@ class RunResult:
         total = self.replay_hits + self.replay_misses
         return self.replay_hits / total if total else 0.0
 
+    @property
+    def compiled_hit_rate(self) -> float:
+        """Fraction of compiled-tier lookups served by a template.
+
+        A lookup reaches the compiled tier only after an exact replay
+        miss, so this rate is conditional on the tier being consulted
+        (mirroring :attr:`replay_hit_rate`'s own convention).
+        """
+        total = self.compiled_hits + self.compiled_misses
+        return self.compiled_hits / total if total else 0.0
+
     def _digest_hasher(self):
         """The incremental hasher behind :meth:`digest`.
 
@@ -307,6 +320,7 @@ def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
                 "recovered": r.recovered_count,
                 "plan_cache_hit_rate": r.plan_cache_hit_rate,
                 "replay_hit_rate": r.replay_hit_rate,
+                "compiled_hit_rate": r.compiled_hit_rate,
             }
         )
     return rows

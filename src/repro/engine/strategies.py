@@ -390,6 +390,24 @@ class ExecutionStrategy:
         """Per-executor replay veto (e.g. a stateful noise RNG stream)."""
         return True
 
+    def charge_plan(
+        self, model, decision: PlanDecision, upkeep: bool
+    ) -> Optional[tuple[tuple[str, Optional[int]], ...]]:
+        """The symbolic order of this mode's ``TimeCharged`` emissions.
+
+        Returns ``(component, unit_index)`` pairs (``None`` index for the
+        optimizer) describing exactly which charges :meth:`run_forward` /
+        :meth:`run_backward` emit and in what order, as a function of the
+        plan alone — the charge *values* are left symbolic (the unit's
+        forward/backward time, the upkeep rate x record count).  The
+        compiled tier (:mod:`repro.engine.compiled`) evaluates this program
+        at new input sizes and verifies it charge-for-charge against a
+        shadow execution before trusting it.  ``None`` means iterations of
+        this mode cannot be described this way (history-dependent modes,
+        or plans whose timing depends on the copy-engine timeline).
+        """
+        return None
+
     def begin(self, ctx: IterationContext) -> None:
         """Validate/stage per-iteration structures before any allocation."""
 
@@ -511,6 +529,42 @@ class NormalStrategy(ExecutionStrategy):
                 or action is MemoryAction.SEGMENT,
             )
 
+    def charge_plan(
+        self, model, decision: PlanDecision, upkeep: bool
+    ) -> Optional[tuple[tuple[str, Optional[int]], ...]]:
+        assignment = decision.plan.assignment
+        if assignment.swap_units:
+            # swap stalls depend on where the copy-engine timeline falls
+            # relative to the backward — not a pure function of the plan
+            return None
+        seg_of, _first, seg_last = segment_info(model, decision)
+        members: dict[int, list[int]] = {}
+        prog: list[tuple[str, Optional[int]]] = []
+        units = model.units
+        for i, unit in enumerate(units):
+            if upkeep:
+                prog.append(("upkeep", i))
+            prog.append(("fwd", i))
+            if unit.checkpointable and unit.name in seg_of:
+                members.setdefault(seg_of[unit.name], []).append(i)
+        for j in range(len(units) - 1, -1, -1):
+            unit = units[j]
+            if unit.name in seg_last:
+                for i in members[seg_of[unit.name]]:
+                    prog.append(("recompute", i))
+            action = (
+                assignment.action_for(unit.name)
+                if unit.checkpointable
+                else MemoryAction.KEEP
+            )
+            if action is MemoryAction.RECOMPUTE:
+                prog.append(("recompute", j))
+                if upkeep:
+                    prog.append(("upkeep", j))
+            prog.append(("bwd", j))
+        prog.append(("optimizer", None))
+        return tuple(prog)
+
     def run_backward(self, ctx: IterationContext) -> None:
         bwd_order = list(reversed(ctx.runtimes))
         for j, rt in enumerate(bwd_order):
@@ -554,6 +608,26 @@ class CollectStrategy(ExecutionStrategy):
     def allows_replay(self, executor: "TrainingExecutor") -> bool:
         # the measurement-noise stream is stateful and must advance
         return executor.noise_rng is None
+
+    def charge_plan(
+        self, model, decision: PlanDecision, upkeep: bool
+    ) -> Optional[tuple[tuple[str, Optional[int]], ...]]:
+        prog: list[tuple[str, Optional[int]]] = []
+        units = model.units
+        for i, unit in enumerate(units):
+            if upkeep:
+                prog.append(("upkeep", i))
+            prog.append(("fwd", i))
+            if unit.checkpointable:
+                prog.append(("collect", i))
+        for j in range(len(units) - 1, -1, -1):
+            if units[j].checkpointable:
+                prog.append(("recompute", j))
+                if upkeep:
+                    prog.append(("upkeep", j))
+            prog.append(("bwd", j))
+        prog.append(("optimizer", None))
+        return tuple(prog)
 
     def run_forward(self, ctx: IterationContext) -> None:
         noise_rng = ctx.executor.noise_rng

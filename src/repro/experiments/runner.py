@@ -147,6 +147,7 @@ def run_task(
     observers: Sequence[Callable[[TrainingExecutor], None]] = (),
     scheduler: Optional[str] = None,
     bwd_ratio: Optional[float] = None,
+    compiled: bool = True,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -172,6 +173,10 @@ def run_task(
     planner's default.  Rejected for non-Mimose planners.  ``bwd_ratio``
     forces the hybrid cost model's ratio pricing (``--bwd-ratio``);
     rejected without ``scheduler="hybrid"``.
+
+    ``compiled`` toggles the executor's compiled-template tier
+    (``--no-compiled`` on the CLI disables it); results are bit-identical
+    either way — the tier only changes how fast iterations are served.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
@@ -198,6 +203,7 @@ def run_task(
         timeline=timeline,
         faults=FaultInjector(faults) if faults is not None else None,
         max_recovery_retries=max_retries,
+        compiled=compiled,
     )
     for attach in observers:
         attach(executor)
@@ -214,6 +220,9 @@ def run_task(
     if executor.replay is not None:
         result.replay_hits = executor.replay.hits
         result.replay_misses = executor.replay.misses
+    if executor.compiled is not None:
+        result.compiled_hits = executor.compiled.hits
+        result.compiled_misses = executor.compiled.misses
     return result
 
 
@@ -274,6 +283,7 @@ def _pool_run_point(
         max_iterations=_POOL_STATE["max_iterations"],  # type: ignore[arg-type]
         faults=faults,
         max_retries=max_retries,
+        compiled=_POOL_STATE["compiled"],  # type: ignore[arg-type]
     )
 
 
@@ -322,6 +332,7 @@ def sweep(
     faults: Optional[FaultPlan] = None,
     max_retries: int = 3,
     jobs: int = 1,
+    compiled: bool = True,
 ) -> list[RunResult]:
     """Grid of runs; the baseline (budget-independent) runs once.
 
@@ -352,6 +363,7 @@ def sweep(
         "task": task,
         "device": device,
         "max_iterations": max_iterations,
+        "compiled": compiled,
     }
     return parallel_map(
         _pool_run_point,

@@ -23,8 +23,9 @@ This models the CUDA caching allocator's actual structure:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, Optional
 
 DEFAULT_ALIGNMENT = 512  # bytes, the CUDA caching allocator quantum
 MIN_SPLIT_REMAINDER = 512
@@ -91,6 +92,102 @@ def _align_up(n: int, quantum: int) -> int:
     return (n + quantum - 1) // quantum * quantum
 
 
+class _FreeIndex:
+    """Size-bucketed, address-ordered index of free blocks.
+
+    Free blocks are bucketed by size class (``size.bit_length()``, so class
+    ``c`` holds sizes in the disjoint range ``[2^(c-1), 2^c)``) and each
+    bucket is kept sorted by ``(size, addr)``.  Best fit is then a bisect in
+    the request's own class followed by the head of the next non-empty class
+    — the same block a linear best-fit scan with address tie-break would
+    choose, because the class ranges are disjoint and ascending.  This keeps
+    allocation :math:`O(\\log n)` under tens of thousands of live blocks
+    while staying bit-identical to the linear scan (``state_signature`` and
+    the chosen-block sequence are unchanged).
+
+    Invariant: a block's size never changes while it is indexed — callers
+    remove before mutating (carve) or merge first and insert once
+    (coalesce).
+    """
+
+    __slots__ = ("_by_addr", "_buckets", "_classes")
+
+    def __init__(self) -> None:
+        self._by_addr: dict[int, Block] = {}
+        #: size class -> list of (size, addr, block) sorted ascending
+        self._buckets: dict[int, list[tuple[int, int, Block]]] = {}
+        self._classes: list[int] = []  # sorted non-empty bucket keys
+
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._by_addr
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._by_addr)
+
+    def values(self):
+        return self._by_addr.values()
+
+    def add(self, block: Block) -> None:
+        self._by_addr[block.addr] = block
+        cls = block.size.bit_length()
+        bucket = self._buckets.get(cls)
+        if bucket is None:
+            bucket = self._buckets[cls] = []
+            insort(self._classes, cls)
+        # (size, addr) is unique per block, so the trailing Block is never
+        # compared by insort.
+        insort(bucket, (block.size, block.addr, block))
+
+    def remove(self, block: Block) -> None:
+        del self._by_addr[block.addr]
+        cls = block.size.bit_length()
+        bucket = self._buckets[cls]
+        i = bisect_left(bucket, (block.size, block.addr))
+        entry = bucket[i]
+        assert entry[1] == block.addr, "free index out of sync with block"
+        del bucket[i]
+        if not bucket:
+            del self._buckets[cls]
+            self._classes.remove(cls)
+
+    def best_fit(self, size: int) -> Optional[Block]:
+        """Smallest free block >= size; ties break toward the lowest addr."""
+        classes = self._classes
+        k = size.bit_length()
+        i = bisect_left(classes, k)
+        if i < len(classes) and classes[i] == k:
+            # The request's own class may hold both too-small and qualifying
+            # blocks; bisect to the first (size, addr) >= (size,).
+            bucket = self._buckets[k]
+            j = bisect_left(bucket, (size,))
+            if j < len(bucket):
+                return bucket[j][2]
+            i += 1
+        if i < len(classes):
+            # Every block in a higher class qualifies and is larger than any
+            # class-k block, so its (size, addr) minimum is the global best.
+            return self._buckets[classes[i]][0][2]
+        return None
+
+    def check_consistency(self) -> None:
+        indexed = 0
+        for cls, bucket in self._buckets.items():
+            assert bucket, "empty bucket retained"
+            assert cls in self._classes, "bucket missing from class list"
+            assert bucket == sorted(bucket), "bucket must stay sorted"
+            for size, addr, block in bucket:
+                assert block.size == size, "block mutated while indexed"
+                assert block.addr == addr, "block moved while indexed"
+                assert size.bit_length() == cls, "block in wrong size class"
+                assert self._by_addr.get(addr) is block
+                indexed += 1
+        assert indexed == len(self._by_addr), "bucket/addr views disagree"
+        assert self._classes == sorted(self._buckets), "class list stale"
+
+
 @dataclass(slots=True)
 class AllocatorStats:
     """Counters maintained by :class:`CachingAllocator`."""
@@ -154,7 +251,7 @@ class CachingAllocator:
         self.oom_callback = oom_callback
         self.stats = AllocatorStats()
         self._segments: list[Segment] = []
-        self._free_blocks: dict[int, Block] = {}  # addr -> free block
+        self._free_blocks = _FreeIndex()
         self._brk = 0  # next segment base address
 
     # ------------------------------------------------------------------ info
@@ -277,17 +374,9 @@ class CachingAllocator:
         # address, so the chosen block depends only on the *set* of free
         # blocks, never on cache insertion history.  This canonical policy
         # is what lets two iterations with equal free-block sets behave
-        # identically (the replay cache's steady-state proof).
-        best: Optional[Block] = None
-        for candidate in self._free_blocks.values():
-            if candidate.size < size:
-                continue
-            if (
-                best is None
-                or candidate.size < best.size
-                or (candidate.size == best.size and candidate.addr < best.addr)
-            ):
-                best = candidate
+        # identically (the replay cache's steady-state proof).  The bucketed
+        # index returns exactly the block the old linear scan would.
+        best = self._free_blocks.best_fit(size)
         if best is not None:
             return self._carve(best, size, owner)
         # Nothing cached fits: reserve a new segment if capacity allows.
@@ -306,7 +395,7 @@ class CachingAllocator:
         whole = Block(addr=segment.base, size=seg_size, segment=segment, free=True)
         segment.head = whole
         self._segments.append(segment)
-        self._free_blocks[whole.addr] = whole
+        self._free_blocks.add(whole)
         self.stats.bytes_reserved += seg_size
         self.stats.peak_reserved = max(
             self.stats.peak_reserved, self.stats.bytes_reserved
@@ -316,7 +405,7 @@ class CachingAllocator:
 
     def _carve(self, block: Block, size: int, owner: str) -> Block:
         """Serve ``size`` bytes from a free ``block``, splitting if worthwhile."""
-        del self._free_blocks[block.addr]
+        self._free_blocks.remove(block)
         remainder = block.size - size
         if remainder >= MIN_SPLIT_REMAINDER:
             tail = Block(
@@ -331,7 +420,7 @@ class CachingAllocator:
             if block.next is not None:
                 block.next.prev = tail
             block.next = tail
-            self._free_blocks[tail.addr] = tail
+            self._free_blocks.add(tail)
             self.stats.num_splits += 1
         block.free = False
         block.owner = owner
@@ -348,7 +437,7 @@ class CachingAllocator:
         for seg in self._segments:
             head = seg.head
             if head is not None and head.free and head.next is None:
-                del self._free_blocks[head.addr]
+                self._free_blocks.remove(head)
                 self.stats.bytes_reserved -= seg.size
                 self.stats.num_segments -= 1
             else:
@@ -374,14 +463,21 @@ class CachingAllocator:
         block.owner = ""
         self.stats.bytes_in_use -= block.size
         self.stats.num_frees += 1
-        self._free_blocks[block.addr] = block
         if self.coalescing:
-            self._coalesce(block)
+            block = self._coalesce(block)
+        self._free_blocks.add(block)
 
-    def _coalesce(self, block: Block) -> None:
+    def _coalesce(self, block: Block) -> Block:
+        """Merge free neighbours into ``block`` and return the survivor.
+
+        The survivor is *not* indexed on return: neighbours are removed
+        from the free index before their bytes are absorbed, and the caller
+        inserts the merged block exactly once — so no indexed block's size
+        ever changes (the invariant the bucketed index relies on).
+        """
         while block.next is not None and block.next.free:
             nxt = block.next
-            del self._free_blocks[nxt.addr]
+            self._free_blocks.remove(nxt)
             block.size += nxt.size
             block.next = nxt.next
             if nxt.next is not None:
@@ -389,16 +485,59 @@ class CachingAllocator:
             self.stats.num_coalesces += 1
         while block.prev is not None and block.prev.free:
             prv = block.prev
-            del self._free_blocks[block.addr]
+            self._free_blocks.remove(prv)
             prv.size += block.size
             prv.next = block.next
             if block.next is not None:
                 block.next.prev = prv
             self.stats.num_coalesces += 1
             block = prv
-        self._free_blocks[block.addr] = block
+        return block
 
     # ------------------------------------------------------------- lifecycle
+
+    def clone(self) -> "CachingAllocator":
+        """An independent allocator in exactly this behavioural state.
+
+        Segments, block lists, the free index, stats and the ``_brk``
+        cursor are all deep-copied; no mutable state is shared, so driving
+        the clone cannot disturb the original (the compiled tier's shadow
+        certification relies on this).  ``oom_callback`` is deliberately
+        not carried over — a clone is a measurement instrument, not a
+        participant in the reactive eviction loop.
+        """
+        new = CachingAllocator.__new__(CachingAllocator)
+        new.capacity = self.capacity
+        new.alignment = self.alignment
+        new.coalescing = self.coalescing
+        new.oom_callback = None
+        new.stats = replace(self.stats)
+        new._segments = []
+        new._free_blocks = _FreeIndex()
+        new._brk = self._brk
+        for seg in self._segments:
+            nseg = Segment(base=seg.base, size=seg.size)
+            prev: Optional[Block] = None
+            node = seg.head
+            while node is not None:
+                nb = Block(
+                    addr=node.addr,
+                    size=node.size,
+                    segment=nseg,
+                    free=node.free,
+                    owner=node.owner,
+                )
+                if prev is None:
+                    nseg.head = nb
+                else:
+                    prev.next = nb
+                    nb.prev = prev
+                if nb.free:
+                    new._free_blocks.add(nb)
+                prev = nb
+                node = node.next
+            new._segments.append(nseg)
+        return new
 
     def reset_peaks(self) -> None:
         """Reset peak statistics (between iterations/experiments)."""
@@ -436,6 +575,7 @@ class CachingAllocator:
         assert in_use == self.stats.bytes_in_use, "in-use accounting must match"
         assert reserved == self.stats.bytes_reserved, "reserve accounting must match"
         assert free_seen == len(self._free_blocks), "free index must be exact"
+        self._free_blocks.check_consistency()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

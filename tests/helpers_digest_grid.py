@@ -40,7 +40,31 @@ def digest_grid() -> list[GridPoint]:
     return points
 
 
-def run_grid_point_result(point: GridPoint, *, seed: int = 0) -> RunResult:
+def near_recurrence_grid() -> list[GridPoint]:
+    """The compiled-template parity grid (docs/performance.md).
+
+    Near-recurrence is the fig 10 sweep regime: the loader's natural
+    size stream keeps producing *unseen* input sizes under a recurring
+    plan signature, so after the first certification the compiled tier
+    (not exact replay) serves the new sizes.  Longer runs than the
+    replay grid so certification happens early enough to matter; every
+    plan-based planner is covered (DTR is REACTIVE and legitimately
+    bypasses both cache tiers), plus a faulted point to pin the
+    bypass/invalidate interaction.
+    """
+    points: list[GridPoint] = []
+    for planner in (
+        "baseline", "sublinear", "checkmate", "monet", "capuchin", "mimose",
+    ):
+        points.append(("TC-Bert", planner, 4.0, 60, ""))
+    points.append(("QA-Bert", "sublinear", 5.0, 60, ""))
+    points.append(("TC-Bert", "mimose", 4.0, 60, _FAULTS))
+    return points
+
+
+def run_grid_point_result(
+    point: GridPoint, *, seed: int = 0, compiled: bool = True
+) -> RunResult:
     task_name, planner, budget_gb, iterations, fault_spec = point
     task = load_task(task_name, iterations=iterations, seed=seed)
     faults = (
@@ -52,6 +76,7 @@ def run_grid_point_result(point: GridPoint, *, seed: int = 0) -> RunResult:
         int(budget_gb * GB),
         max_iterations=iterations,
         faults=faults,
+        compiled=compiled,
     )
 
 
