@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     run_task,
     sweep,
 )
+from repro.data.datasets import DRIFT_SCENARIOS
 from repro.experiments.tasks import GB, TASKS, load_task
 from repro.tensorsim.faults import FaultPlan
 
@@ -94,9 +95,25 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    task = load_task(args.task, iterations=args.iterations, seed=args.seed)
+    task = load_task(
+        args.task,
+        iterations=args.iterations,
+        seed=args.seed,
+        drift_scenario=args.drift_scenario,
+    )
     budget = int(args.budget_gb * GB)
     faults = _parse_faults(args)
+    if args.static_fit and args.planner != "mimose":
+        raise SystemExit(
+            "error: --static-fit applies to --planner mimose only"
+        )
+    # A drift scenario arms mimose's lifecycle monitors unless the run is
+    # the frozen-fit ablation comparator.
+    drift_detection = (
+        args.drift_scenario is not None
+        and args.planner == "mimose"
+        and not args.static_fit
+    )
     # Both runs are capped at the same iteration count so normalized_time
     # compares runs of equal length; the baseline stays fault-free as the
     # normalisation reference.
@@ -148,6 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scheduler=scheduler,
             bwd_ratio=args.bwd_ratio,
             compiled=not args.no_compiled,
+            drift_detection=drift_detection,
+            static_fit=args.static_fit,
         )
     )
     breakdown = result.time_breakdown()
@@ -167,9 +186,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "plan_cache": f"{result.plan_cache_hit_rate:.0%}",
             "replay": f"{result.replay_hit_rate:.0%}",
             "compiled": f"{result.compiled_hit_rate:.0%}",
+            "refits": result.refits,
+            "drift_events": result.drift_events,
         }
     ]
     title = f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)"
+    if args.drift_scenario is not None:
+        title += f" [drift: {args.drift_scenario}]"
     if faults is not None:
         title += f" [faults: {faults.describe()}]"
     print(render_table(rows, title=title))
@@ -199,7 +222,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    task = load_task(args.task, iterations=args.iterations, seed=args.seed)
+    task = load_task(
+        args.task,
+        iterations=args.iterations,
+        seed=args.seed,
+        drift_scenario=args.drift_scenario,
+    )
     budgets = task.default_budgets(args.points)
     planners = args.planners.split(",") if args.planners else list(PLANNER_NAMES)
     faults = _parse_faults(args)
@@ -211,6 +239,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         jobs=args.jobs,
         compiled=not args.no_compiled,
+        drift_detection=args.drift_scenario is not None,
     )
     baseline = next(r for r in results if r.planner_name == "baseline")
     rows = []
@@ -224,9 +253,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "oom": r.oom_count,
                 "retries": r.total_retries,
                 "recovered": r.recovered_count,
+                "refits": r.refits,
+                "drift_events": r.drift_events,
             }
         )
     title = f"{args.task} sweep"
+    if args.drift_scenario is not None:
+        title += f" [drift: {args.drift_scenario}]"
     if faults is not None:
         title += f" [faults: {faults.describe()}]"
     print(render_table(rows, title=title))
@@ -303,6 +336,23 @@ def build_parser() -> argparse.ArgumentParser:
             "path); results are bit-identical either way"
         ),
     )
+    run_p.add_argument(
+        "--drift-scenario",
+        choices=DRIFT_SCENARIOS,
+        default=None,
+        help=(
+            "make the task's input-size distribution non-stationary and "
+            "arm mimose's lifecycle drift monitors (online replanning)"
+        ),
+    )
+    run_p.add_argument(
+        "--static-fit",
+        action="store_true",
+        help=(
+            "freeze mimose's initial fit (no re-collection, no refits) — "
+            "the drift-ablation comparator (mimose only)"
+        ),
+    )
     _add_fault_options(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -327,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "disable the compiled-template tier (near-recurrence fast "
             "path); results are bit-identical either way"
+        ),
+    )
+    sweep_p.add_argument(
+        "--drift-scenario",
+        choices=DRIFT_SCENARIOS,
+        default=None,
+        help=(
+            "make the task's input-size distribution non-stationary; "
+            "arms drift monitors on the sweep's mimose points"
         ),
     )
     _add_fault_options(sweep_p)

@@ -17,6 +17,7 @@ same way::
 """
 
 from repro.analysis.rules.eventbus import EventBusProtocolRule
+from repro.analysis.rules.lifecycle import LifecycleProtocolRule
 from repro.analysis.rules.modes import ModeBranchingRule
 from repro.analysis.rules.planmembership import PlanMembershipRule
 from repro.analysis.rules.rng import RngDisciplineRule
@@ -26,6 +27,7 @@ from repro.analysis.rules.wallclock import WallClockRule
 __all__ = [
     "ByteUnitsRule",
     "EventBusProtocolRule",
+    "LifecycleProtocolRule",
     "ModeBranchingRule",
     "PlanMembershipRule",
     "RngDisciplineRule",

@@ -13,12 +13,18 @@ The input-aware checkpointing planner (§IV) and its three components:
   :class:`~repro.core.scheduler.Scheduler` interface;
 * :class:`~repro.core.plan_cache.PlanCache` — input-size-keyed plan reuse
   (§V);
+* :class:`~repro.core.lifecycle.LifecycleController` — the explicit
+  collect→fit→plan state machine, with the drift detectors of
+  :mod:`repro.core.drift` for online replanning under input-distribution
+  drift;
 
 all orchestrated by :class:`~repro.core.planner.MimosePlanner`.
 """
 
 from repro.core.adaptive import ResidualTracker
 from repro.core.collector import CollectedSample, ShuttlingCollector
+from repro.core.drift import CusumMonitor, PageHinkleyDetector
+from repro.core.lifecycle import LifecycleController, LifecycleState
 from repro.core.estimators import (
     DecisionTreeRegressor,
     GradientBoostedTrees,
@@ -41,6 +47,10 @@ __all__ = [
     "ResidualTracker",
     "CollectedSample",
     "ShuttlingCollector",
+    "CusumMonitor",
+    "PageHinkleyDetector",
+    "LifecycleController",
+    "LifecycleState",
     "DecisionTreeRegressor",
     "GradientBoostedTrees",
     "PolynomialRegressor",

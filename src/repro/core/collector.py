@@ -7,6 +7,14 @@ collector accumulates those samples — one (input size → activation bytes,
 forward time, backward time) point per unit per sheltered iteration —
 until it has enough to train the memory estimator.
 
+Samples are stored per sheltered *iteration*, so the collector can evict
+its oldest iterations (:meth:`ShuttlingCollector.evict_oldest`, or
+automatically via ``window_iterations``) instead of only clearing
+wholesale.  That is what lets the lifecycle controller re-collect
+*partially* after input-distribution drift: recent samples survive, the
+stale head of the window is dropped, and readiness is re-earned with
+fresh sheltered iterations.
+
 The collector never touches the model: everything it knows arrived through
 measurements, which is the paper's "no prior knowledge" constraint.  That
 includes backward times: the sheltered backward pass times each unit, so
@@ -45,17 +53,38 @@ class ShuttlingCollector:
             the union of sizes across units: a unit observed at a single
             size would otherwise receive a degenerate quadratic fit while
             the union looked healthy.
+        window_iterations: optional rolling-window cap on retained
+            sheltered iterations; each :meth:`ingest` beyond the cap
+            evicts the oldest iteration.  Must be at least
+            ``min_iterations`` (a smaller window could never become
+            ready).  ``None`` retains everything (the stationary
+            default).
     """
 
-    def __init__(self, min_iterations: int = 10, min_distinct_sizes: int = 4) -> None:
+    def __init__(
+        self,
+        min_iterations: int = 10,
+        min_distinct_sizes: int = 4,
+        *,
+        window_iterations: int | None = None,
+    ) -> None:
         if min_iterations < 1:
             raise ValueError("min_iterations must be >= 1")
         if min_distinct_sizes < 3:
             raise ValueError("a quadratic fit needs >= 3 distinct sizes")
+        if window_iterations is not None and window_iterations < min_iterations:
+            raise ValueError(
+                "window_iterations must be >= min_iterations (a smaller "
+                "window can never satisfy readiness)"
+            )
         self.min_iterations = min_iterations
         self.min_distinct_sizes = min_distinct_sizes
+        self.window_iterations = window_iterations
+        #: per-iteration batches, oldest first — the eviction unit
+        self._history: list[list[tuple[str, CollectedSample]]] = []
+        # Derived state, maintained incrementally on ingest and rebuilt
+        # from the history after any eviction.
         self._samples: dict[str, list[CollectedSample]] = defaultdict(list)
-        self._iterations = 0
         self._seen_sizes: set[int] = set()
         self._unit_sizes: dict[str, set[int]] = defaultdict(set)
 
@@ -63,24 +92,64 @@ class ShuttlingCollector:
 
     def ingest(self, measurements: Iterable[UnitMeasurement]) -> None:
         """Record one sheltered iteration's measurements."""
-        any_seen = False
+        batch: list[tuple[str, CollectedSample]] = []
         for m in measurements:
-            self._samples[m.unit_name].append(
-                CollectedSample(
-                    m.input_size, m.saved_bytes, m.fwd_time, m.bwd_time
-                )
+            sample = CollectedSample(
+                m.input_size, m.saved_bytes, m.fwd_time, m.bwd_time
             )
+            batch.append((m.unit_name, sample))
+            self._samples[m.unit_name].append(sample)
             self._seen_sizes.add(m.input_size)
             self._unit_sizes[m.unit_name].add(m.input_size)
-            any_seen = True
-        if any_seen:
-            self._iterations += 1
+        if batch:
+            self._history.append(batch)
+            if (
+                self.window_iterations is not None
+                and len(self._history) > self.window_iterations
+            ):
+                self.evict_oldest(keep=self.window_iterations)
+
+    # --------------------------------------------------------------- eviction
+
+    def evict_oldest(self, *, keep: int) -> int:
+        """Drop all but the most recent ``keep`` sheltered iterations.
+
+        Returns the number of iterations evicted.  All derived state —
+        readiness, ``max_seen_size``, per-unit distinct-size counts — is
+        recomputed from the surviving window, so nothing a dropped
+        iteration contributed can linger (the regression the windowed
+        lifecycle must never reintroduce: declaring readiness off stale
+        samples).
+        """
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        evicted = len(self._history) - keep
+        if evicted <= 0:
+            return 0
+        self._history = self._history[evicted:]
+        self._rebuild()
+        return evicted
+
+    def clear(self) -> None:
+        self._history.clear()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute every derived view from the retained history."""
+        self._samples = defaultdict(list)
+        self._seen_sizes = set()
+        self._unit_sizes = defaultdict(set)
+        for batch in self._history:
+            for unit_name, sample in batch:
+                self._samples[unit_name].append(sample)
+                self._seen_sizes.add(sample.input_size)
+                self._unit_sizes[unit_name].add(sample.input_size)
 
     # ----------------------------------------------------------------- state
 
     @property
     def iterations_collected(self) -> int:
-        return self._iterations
+        return len(self._history)
 
     @property
     def distinct_sizes(self) -> int:
@@ -102,7 +171,7 @@ class ShuttlingCollector:
         because each unit gets its own regression fit.
         """
         return (
-            self._iterations >= self.min_iterations
+            len(self._history) >= self.min_iterations
             and bool(self._unit_sizes)
             and min(len(s) for s in self._unit_sizes.values())
             >= self.min_distinct_sizes
@@ -113,6 +182,14 @@ class ShuttlingCollector:
 
     def samples(self, unit_name: str) -> Sequence[CollectedSample]:
         return tuple(self._samples.get(unit_name, ()))
+
+    def window_sizes(self) -> list[int]:
+        """Per-iteration input sizes of the retained window, oldest first.
+
+        The reference sample the lifecycle controller calibrates its
+        input-size drift monitor against after each fit.
+        """
+        return [batch[0][1].input_size for batch in self._history if batch]
 
     def training_data(
         self,
@@ -127,9 +204,3 @@ class ShuttlingCollector:
                 [r.bwd_time for r in rows],
             )
         return out
-
-    def clear(self) -> None:
-        self._samples.clear()
-        self._seen_sizes.clear()
-        self._unit_sizes.clear()
-        self._iterations = 0

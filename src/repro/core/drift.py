@@ -1,0 +1,192 @@
+"""Sequential drift detectors for the planning lifecycle (ROADMAP: input-
+distribution drift and online replanning).
+
+Two complementary monitors feed :class:`~repro.core.lifecycle
+.LifecycleController`:
+
+* :class:`PageHinkleyDetector` watches the *residual* stream — the signed
+  relative error of the estimator's peak-memory predictions.  A fitted
+  estimator that is still valid produces residuals hovering around zero;
+  a persistent positive shift means the fit systematically under-predicts
+  the current workload, which is how concept drift (the size→memory
+  relationship moved) shows up *after* execution.
+* :class:`CusumMonitor` watches the *input-size* stream, standardised
+  against the distribution the estimator was trained on.  A persistent
+  shift fires *before* a mispredicted iteration has to OOM: the monitor
+  is consulted at plan time, so the controller can divert the suspicious
+  iteration to sheltered (full-checkpoint) execution instead of trusting
+  an extrapolated plan.
+
+Both are classic sequential change-point statistics (Page 1954): O(1)
+state per update, no randomness, no clocks — pure functions of the
+observation stream, so they are safe inside the digest-bearing planning
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class PageHinkleyDetector:
+    """Page–Hinkley test for an upward shift in a stream's mean.
+
+    Maintains the cumulative deviation of observations from their running
+    mean (minus a per-step tolerance ``delta``); drift is declared when
+    the cumulation rises more than ``threshold`` above its historical
+    minimum.  Tuned for the residual stream: only *upward* shifts matter
+    (systematic under-prediction is the unsafe direction; over-prediction
+    merely wastes checkpointing).
+
+    Args:
+        delta: per-observation tolerance subtracted before accumulating —
+            shifts smaller than this never fire.
+        threshold: detection threshold on (cumulation − running minimum).
+        min_observations: observations required before drift may fire,
+            so a single early outlier cannot trip the test.
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.005,
+        threshold: float = 0.15,
+        min_observations: int = 8,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self._count = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True when drift is detected."""
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cum += value - self._mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        return (
+            self._count >= self.min_observations
+            and self.statistic > self.threshold
+        )
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic (cumulation above its running minimum)."""
+        return self._cum - self._cum_min
+
+    @property
+    def num_observations(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        """Forget all state (called after a refit resolves the drift)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+
+
+class CusumMonitor:
+    """Two-sided CUSUM on standardised observations.
+
+    Calibrated against a reference sample (the collector window the
+    estimator was trained on); each observation is standardised with the
+    reference mean/std and fed into upper and lower one-sided cumulative
+    sums with slack ``slack``.  Either sum exceeding ``threshold``
+    declares a distribution shift.
+
+    An uncalibrated monitor never fires — there is nothing to deviate
+    *from* until the first fit provides a reference window.
+
+    Args:
+        slack: per-step allowance in standard deviations (the classic
+            ``k``); drifts smaller than ``slack`` sigmas never fire.
+        threshold: detection threshold on either cumulative sum (``h``).
+        min_observations: observations since calibration required before
+            drift may fire.
+    """
+
+    def __init__(
+        self,
+        *,
+        slack: float = 0.5,
+        threshold: float = 6.0,
+        min_observations: int = 4,
+    ) -> None:
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.slack = slack
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self._mean = 0.0
+        self._std = 0.0
+        self._calibrated = False
+        self._count = 0
+        self._upper = 0.0
+        self._lower = 0.0
+
+    def calibrate(self, reference: Sequence[float]) -> None:
+        """Set the no-drift reference from the training window's values."""
+        values = list(reference)
+        if not values:
+            raise ValueError("calibration needs at least one value")
+        n = len(values)
+        mean = math.fsum(values) / n
+        var = math.fsum((v - mean) ** 2 for v in values) / n
+        # Floor the scale so a degenerate window (one repeated size) does
+        # not turn every later observation into an infinite z-score.
+        self._mean = mean
+        self._std = max(math.sqrt(var), 0.05 * abs(mean), 1.0)
+        self._calibrated = True
+        self._count = 0
+        self._upper = 0.0
+        self._lower = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True when drift is detected."""
+        if not self._calibrated:
+            return False
+        z = (value - self._mean) / self._std
+        self._count += 1
+        self._upper = max(0.0, self._upper + z - self.slack)
+        self._lower = max(0.0, self._lower - z - self.slack)
+        return (
+            self._count >= self.min_observations
+            and self.statistic > self.threshold
+        )
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic (the larger one-sided cumulative sum)."""
+        return max(self._upper, self._lower)
+
+    @property
+    def calibrated(self) -> bool:
+        return self._calibrated
+
+    @property
+    def num_observations(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        """Drop the calibration and all accumulated state."""
+        self._calibrated = False
+        self._mean = 0.0
+        self._std = 0.0
+        self._count = 0
+        self._upper = 0.0
+        self._lower = 0.0

@@ -1,6 +1,9 @@
 """The Mimose planner (§IV-A): sheltered → responsive execution.
 
-Iteration lifecycle:
+The collect→fit→plan lifecycle itself — when to collect, when to (re)fit,
+when to declare the fit stale — is owned by the explicit state machine in
+:mod:`repro.core.lifecycle`; the planner consults it and turns its
+decisions into plans.  Iteration lifecycle:
 
 1. **Sheltered execution** — the first ``collect_iterations`` iterations
    (and any later iteration whose input size exceeds everything collected
@@ -39,6 +42,7 @@ from typing import Optional
 from repro.core.adaptive import QuantileTracker, ResidualTracker
 from repro.core.collector import ShuttlingCollector
 from repro.core.estimator import LightningMemoryEstimator
+from repro.core.lifecycle import LifecycleController
 from repro.core.plan_cache import PlanCache
 from repro.core.scheduler import GreedyScheduler, Scheduler, SchedulerInput
 from repro.engine.stats import IterationStats
@@ -69,6 +73,15 @@ class MimosePlanner(Planner):
         cache: plan cache (default: 5 % similarity window).
         recollect_margin: how far beyond the largest collected input size a
             new input may be before triggering another sheltered iteration.
+        adaptive_margin: learn the safety margin from observed residuals
+            (see :mod:`repro.core.adaptive`) instead of the fixed reserve.
+        drift_detection: arm the lifecycle controller's drift monitors
+            (:mod:`repro.core.drift`) — residual Page–Hinkley plus
+            input-size CUSUM — enabling the DRIFTED → partial
+            re-collection → refit path under non-stationary inputs.
+        collector_window: rolling-window cap on retained sheltered
+            iterations (None keeps everything; see
+            :class:`~repro.core.collector.ShuttlingCollector`).
     """
 
     name = "mimose"
@@ -95,6 +108,8 @@ class MimosePlanner(Planner):
         cache: Optional[PlanCache] = None,
         recollect_margin: float = 0.10,
         adaptive_margin: bool = False,
+        drift_detection: bool = False,
+        collector_window: Optional[int] = None,
     ) -> None:
         super().__init__(budget_bytes)
         if headroom_bytes is None:
@@ -103,7 +118,10 @@ class MimosePlanner(Planner):
             headroom_bytes = max(512 * _MB, int(0.10 * budget_bytes))
         if headroom_bytes < 0 or headroom_step < 0:
             raise ValueError("headroom must be non-negative")
-        self.collector = ShuttlingCollector(min_iterations=collect_iterations)
+        self.collector = ShuttlingCollector(
+            min_iterations=collect_iterations,
+            window_iterations=collector_window,
+        )
         self.estimator = estimator if estimator is not None else LightningMemoryEstimator()
         self.scheduler = scheduler if scheduler is not None else GreedyScheduler()
         # NB: `cache or PlanCache()` would discard a user-supplied cache —
@@ -111,10 +129,8 @@ class MimosePlanner(Planner):
         self.cache = cache if cache is not None else PlanCache()
         self.headroom_bytes = int(headroom_bytes)
         self.headroom_step = int(headroom_step)
-        self.recollect_margin = recollect_margin
         self._order: dict[str, int] = {}
         self._static_bytes = 0
-        self._base_samples: list[tuple[int, int]] = []
         # Adaptive residual margin (the paper's future-work estimator
         # extension for content-dependent structures, see core.adaptive).
         # During a warmup window the conservative default reserve applies;
@@ -127,10 +143,21 @@ class MimosePlanner(Planner):
         self._warmup_reserve = max(
             self.headroom_bytes, int(0.10 * budget_bytes)
         )
+        # Every fit/refit/re-collection decision belongs to the lifecycle
+        # controller (core.lifecycle); the planner consults it at the two
+        # decision points (plan, observe) and never fits directly.
+        self.lifecycle = LifecycleController(
+            collector=self.collector,
+            estimator=self.estimator,
+            cache=self.cache,
+            residuals=self.residuals,
+            frag_observed=self.frag_observed,
+            recollect_margin=recollect_margin,
+            drift_detection=drift_detection,
+        )
         # bookkeeping for Table III / recovery reporting
         self.collect_count = 0
         self.plan_count = 0
-        self.fit_count = 0
         self.recovery_attempts = 0
 
     # ------------------------------------------------------------- lifecycle
@@ -150,7 +177,7 @@ class MimosePlanner(Planner):
 
     def plan(self, batch: BatchInput) -> PlanDecision:
         size = batch.input_size
-        if self._needs_collection(size):
+        if self.lifecycle.needs_collection(size):
             self.collect_count += 1
             return PlanDecision(
                 CheckpointPlan(frozenset(), "mimose-collect"),
@@ -159,8 +186,7 @@ class MimosePlanner(Planner):
             )
 
         start = time.perf_counter()
-        if not self.estimator.is_fitted:
-            self._fit()
+        self.lifecycle.ensure_fitted()
         cached = self.cache.get(size)
         if cached is not None:
             return PlanDecision(cached, planning_time=time.perf_counter() - start)
@@ -169,23 +195,14 @@ class MimosePlanner(Planner):
         self.plan_count += 1
         return PlanDecision(plan, planning_time=time.perf_counter() - start)
 
-    def _needs_collection(self, size: int) -> bool:
-        if not self.collector.is_ready():
-            return True
-        if not self.estimator.is_fitted:
-            return False  # enough data — this iteration fits and plans
-        # Inputs well beyond anything measured are collected rather than
-        # extrapolated — the paper's O(n/N) occasional re-collection.
-        return self.should_recollect(size)
+    @property
+    def fit_count(self) -> int:
+        """Estimator fits performed (delegated to the lifecycle)."""
+        return self.lifecycle.fit_count
 
-    def _fit(self) -> None:
-        self.estimator.fit(self.collector)
-        if self._base_samples:
-            sizes = [s for s, _ in self._base_samples]
-            peaks = [p for _, p in self._base_samples]
-            self.estimator.fit_base(sizes, peaks)
-        self.cache.clear()
-        self.fit_count += 1
+    @property
+    def recollect_margin(self) -> float:
+        return self.lifecycle.recollect_margin
 
     def _usable_budget(self) -> int:
         if not self.adaptive_margin:
@@ -257,35 +274,21 @@ class MimosePlanner(Planner):
     # --------------------------------------------------------------- observe
 
     def observe(self, stats: IterationStats) -> None:
-        if stats.is_collect:
-            self.collector.ingest(stats.measurements)
-            if not stats.oom:
-                self._base_samples.append((stats.input_size, stats.peak_in_use))
-            # A larger input may arrive later; refit lazily when it does.
-            if self.estimator.is_fitted:
-                self._fit()
-            return
-        if stats.oom:
+        # The lifecycle controller owns collection ingest, refits and the
+        # residual/fragmentation feedback (it may already have processed
+        # this stats object through the event bus; the call is idempotent
+        # per object).  The prediction rides on the stats (copied from
+        # the issuing plan by the executor), so cache-served iterations
+        # feed the trackers too.
+        self.lifecycle.observe(stats)
+        if stats.oom and not stats.is_collect:
             # Misprediction: widen the reserve and drop stale plans (the
             # cached plans carry their predictions, so clearing the cache
-            # also discards every stale prediction in one stroke).
+            # also discards every stale prediction in one stroke).  This
+            # is budget policy, not lifecycle: the estimator is not what
+            # the widened reserve corrects for.
             self.headroom_bytes += self.headroom_step
             self.cache.clear()
-            return
-        # The prediction rides on the stats (copied from the issuing plan
-        # by the executor), so cache-served iterations feed the trackers
-        # too — `is not None` because a prediction of zero bytes is a
-        # value, not an absence.
-        predicted = stats.predicted_peak_bytes
-        if predicted is not None:
-            # relative estimator error and absolute allocator slack are
-            # tracked separately — the reserved-over-used gap (caching and
-            # segment pooling) does not scale with the predicted volume
-            if predicted > 0:
-                self.residuals.record(predicted, stats.peak_in_use)
-            self.frag_observed.record(
-                max(0, stats.peak_reserved - stats.peak_in_use)
-            )
 
     # -------------------------------------------------------------- recovery
 
@@ -342,7 +345,4 @@ class MimosePlanner(Planner):
 
     def should_recollect(self, size: int) -> bool:
         """Whether ``size`` lies beyond the trusted extrapolation range."""
-        if not self.estimator.is_fitted:
-            return True
-        limit = self.estimator.max_trained_size * (1.0 + self.recollect_margin)
-        return size > limit
+        return self.lifecycle.should_recollect(size)

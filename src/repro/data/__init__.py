@@ -9,8 +9,11 @@ capped at 1333, aspect ratio preserved — §II-A).
 """
 
 from repro.data.distributions import (
+    BucketRotationSampler,
+    CurriculumSampler,
     EmpiricalSampler,
     PowerLawSampler,
+    RegimeSwitchSampler,
     Sampler,
     TruncatedNormalSampler,
     UniformSampler,
@@ -21,13 +24,20 @@ from repro.data.augment import (
     pad_and_truncate,
 )
 from repro.data.datasets import (
+    DRIFT_SCENARIOS,
     DataLoader,
     SyntheticCocoDataset,
     SyntheticTextDataset,
+    apply_drift_scenario,
     make_dataset,
 )
 
 __all__ = [
+    "BucketRotationSampler",
+    "CurriculumSampler",
+    "DRIFT_SCENARIOS",
+    "RegimeSwitchSampler",
+    "apply_drift_scenario",
     "EmpiricalSampler",
     "PowerLawSampler",
     "Sampler",

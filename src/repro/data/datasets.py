@@ -10,14 +10,17 @@ maximum in each dimension, exactly like MMDetection's collate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 import numpy as np
 
 from repro.data.augment import MultiScaleResize, TokenizerSim, pad_and_truncate
 from repro.data.distributions import (
+    BucketRotationSampler,
+    CurriculumSampler,
     PowerLawSampler,
+    RegimeSwitchSampler,
     Sampler,
     TruncatedNormalSampler,
     UniformSampler,
@@ -70,6 +73,10 @@ class SyntheticTextDataset:
         worst = int(round(hi * (self.tokenizer.expansion_mean + 4 * self.tokenizer.expansion_std)))
         return min(worst + self.tokenizer.special_tokens, self.max_length)
 
+    def samplers(self) -> tuple[Sampler, ...]:
+        """The samplers the loader must position before each iteration."""
+        return (self.length_sampler,)
+
 
 @dataclass(frozen=True)
 class SyntheticCocoDataset:
@@ -87,6 +94,10 @@ class SyntheticCocoDataset:
 
     def max_hw(self) -> tuple[int, int]:
         return self.resize.worst_case()
+
+    def samplers(self) -> tuple[Sampler, ...]:
+        """The samplers the loader must position before each iteration."""
+        return (self.height_sampler, self.width_sampler)
 
 
 class DataLoader:
@@ -133,16 +144,31 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[BatchInput]:
         rng = np.random.default_rng(self.seed)
-        for _ in range(self.num_iterations):
+        samplers = self.dataset.samplers()
+        for i in range(self.num_iterations):
+            for s in samplers:
+                s.advance(i)
             yield self._collate(rng)
 
     def __len__(self) -> int:
         return self.num_iterations
 
     def peek_sizes(self, n: int = 256, *, seed_offset: int = 10_000) -> list[BatchInput]:
-        """Sample n batches from a disjoint stream (offline calibration)."""
+        """Sample n batches from a disjoint stream (offline calibration).
+
+        Non-stationary samplers are walked through the same absolute
+        positions ``0..n-1`` as a real epoch, so the peek stream covers
+        the drift trajectory; positioning is absolute, so a subsequent
+        ``__iter__`` is unaffected.
+        """
         rng = np.random.default_rng(self.seed + seed_offset)
-        return [self._collate(rng) for _ in range(n)]
+        samplers = self.dataset.samplers()
+        batches = []
+        for i in range(n):
+            for s in samplers:
+                s.advance(i)
+            batches.append(self._collate(rng))
+        return batches
 
     def worst_case_batch(self) -> BatchInput:
         """The largest batch the pipeline can emit (for static planners)."""
@@ -235,3 +261,83 @@ def make_dataset(name: str) -> SyntheticTextDataset | SyntheticCocoDataset:
         raise KeyError(
             f"unknown dataset {name!r}; available: {available_datasets()}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Drift scenarios — non-stationary rewrites of a preset's samplers
+# ---------------------------------------------------------------------------
+
+#: scenario names accepted by ``repro run/sweep --drift-scenario``
+DRIFT_SCENARIOS = ("regime-switch", "curriculum", "bucket-rotation")
+
+
+def _drift_sampler(base: Sampler, scenario: str, iterations: int) -> Sampler:
+    """Wrap one stationary sampler into the named drift trajectory.
+
+    Every scenario starts confined to the *lower* part of the base
+    support and later visits the upper part, so a model fitted on the
+    early window faces genuine extrapolation once the drift lands —
+    the regime the lifecycle controller exists to survive.
+    """
+    lo, hi = base.support
+    span = hi - lo
+    if span < 3:
+        raise ValueError(
+            f"support [{lo}, {hi}] is too narrow for a drift scenario"
+        )
+    third = max(1, span // 3)
+    if scenario == "regime-switch":
+        return RegimeSwitchSampler(
+            [
+                (0, UniformSampler(lo, lo + third)),
+                (max(1, iterations // 2), UniformSampler(hi - third, hi)),
+            ]
+        )
+    if scenario == "curriculum":
+        quarter = max(1, span // 4)
+        return CurriculumSampler(
+            UniformSampler(lo, lo + quarter),
+            UniformSampler(hi - quarter, hi),
+            ramp_iterations=max(1, iterations),
+        )
+    if scenario == "bucket-rotation":
+        mid = lo + span // 2
+        return BucketRotationSampler(
+            [
+                UniformSampler(lo, lo + third),
+                UniformSampler(mid - third // 2, mid + third // 2),
+                UniformSampler(hi - third, hi),
+            ],
+            period=max(1, iterations // 6),
+        )
+    raise KeyError(
+        f"unknown drift scenario {scenario!r}; available: {DRIFT_SCENARIOS}"
+    )
+
+
+def apply_drift_scenario(
+    dataset: SyntheticTextDataset | SyntheticCocoDataset,
+    scenario: str,
+    iterations: int,
+) -> SyntheticTextDataset | SyntheticCocoDataset:
+    """Rewrite a preset's samplers into the named non-stationary scenario.
+
+    Returns a new dataset (the presets are frozen dataclasses); the
+    drift trajectory spans ``iterations`` loader steps.
+    """
+    if isinstance(dataset, SyntheticTextDataset):
+        return replace(
+            dataset,
+            length_sampler=_drift_sampler(
+                dataset.length_sampler, scenario, iterations
+            ),
+        )
+    return replace(
+        dataset,
+        height_sampler=_drift_sampler(
+            dataset.height_sampler, scenario, iterations
+        ),
+        width_sampler=_drift_sampler(
+            dataset.width_sampler, scenario, iterations
+        ),
+    )

@@ -4,6 +4,14 @@
 distribution, such as normal distribution and power-law distribution";
 these samplers are the corresponding families, all driven by a
 ``numpy.random.Generator`` for determinism.
+
+The stationary families are complemented by *non-stationary* composites
+(:class:`RegimeSwitchSampler`, :class:`CurriculumSampler`,
+:class:`BucketRotationSampler`) whose active distribution depends on the
+training position.  Position flows in through :meth:`Sampler.advance`,
+called by the data loader with the absolute iteration index before each
+batch — absolute (not incremental) so re-iterating a loader reproduces
+the exact same drift trajectory.
 """
 
 from __future__ import annotations
@@ -21,6 +29,14 @@ class Sampler:
 
     def sample_many(self, rng: np.random.Generator, n: int) -> list[int]:
         return [self.sample(rng) for _ in range(n)]
+
+    def advance(self, iteration: int) -> None:
+        """Position the sampler at absolute training ``iteration``.
+
+        A no-op for stationary samplers; non-stationary composites use it
+        to select their active phase.  Absolute positioning keeps drift
+        trajectories deterministic under loader re-iteration.
+        """
 
     @property
     def support(self) -> tuple[int, int]:
@@ -115,3 +131,120 @@ class EmpiricalSampler(Sampler):
     @property
     def support(self) -> tuple[int, int]:
         return int(self.values.min()), int(self.values.max())
+
+
+# ---------------------------------------------------------------------------
+# Non-stationary composites — the drift scenarios
+# ---------------------------------------------------------------------------
+
+
+def _union_support(samplers: Sequence[Sampler]) -> tuple[int, int]:
+    bounds = [s.support for s in samplers]
+    return min(lo for lo, _ in bounds), max(hi for _, hi in bounds)
+
+
+class RegimeSwitchSampler(Sampler):
+    """Abrupt distribution shift: piecewise-stationary phases.
+
+    ``phases`` maps a start iteration to the sampler active from that
+    iteration on; the first phase must start at 0.  Models a corpus swap
+    or a dataloader shard boundary — the size distribution jumps with no
+    warning, the worst case for a fitted estimator.
+    """
+
+    def __init__(self, phases: Sequence[tuple[int, Sampler]]) -> None:
+        if not phases:
+            raise ValueError("regime switch needs at least one phase")
+        ordered = sorted(phases, key=lambda p: p[0])
+        if ordered[0][0] != 0:
+            raise ValueError("first phase must start at iteration 0")
+        starts = [start for start, _ in ordered]
+        if len(set(starts)) != len(starts):
+            raise ValueError("phase start iterations must be distinct")
+        self.phases = list(ordered)
+        self._iteration = 0
+
+    def advance(self, iteration: int) -> None:
+        self._iteration = iteration
+        for _, sampler in self.phases:
+            sampler.advance(iteration)
+
+    def _active(self) -> Sampler:
+        active = self.phases[0][1]
+        for start, sampler in self.phases:
+            if start <= self._iteration:
+                active = sampler
+        return active
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self._active().sample(rng)
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return _union_support([s for _, s in self.phases])
+
+
+class CurriculumSampler(Sampler):
+    """Gradual drift: linear ramp from a start to an end distribution.
+
+    Each draw takes one sample from *both* distributions and blends them
+    with the ramp progress ``t = min(1, iteration / ramp_iterations)`` —
+    both streams are always consumed, so the rng trajectory is identical
+    at every position and only the blend weight drifts.  Models
+    curriculum learning (short sequences first, long later).
+    """
+
+    def __init__(
+        self, start: Sampler, end: Sampler, ramp_iterations: int
+    ) -> None:
+        if ramp_iterations < 1:
+            raise ValueError("ramp_iterations must be positive")
+        self.start, self.end = start, end
+        self.ramp_iterations = ramp_iterations
+        self._iteration = 0
+
+    def advance(self, iteration: int) -> None:
+        self._iteration = iteration
+        self.start.advance(iteration)
+        self.end.advance(iteration)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        t = min(1.0, self._iteration / self.ramp_iterations)
+        a = self.start.sample(rng)
+        b = self.end.sample(rng)
+        return int(round((1.0 - t) * a + t * b))
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return _union_support([self.start, self.end])
+
+
+class BucketRotationSampler(Sampler):
+    """Periodic drift: length buckets served round-robin in blocks.
+
+    Bucket ``(iteration // period) % len(buckets)`` is active; models
+    sorted-by-length sharding where the loader walks buckets of similar
+    sizes, so the distribution rotates on a fixed cadence.
+    """
+
+    def __init__(self, buckets: Sequence[Sampler], period: int) -> None:
+        if not buckets:
+            raise ValueError("bucket rotation needs at least one bucket")
+        if period < 1:
+            raise ValueError("period must be positive")
+        self.buckets = list(buckets)
+        self.period = period
+        self._iteration = 0
+
+    def advance(self, iteration: int) -> None:
+        self._iteration = iteration
+        for sampler in self.buckets:
+            sampler.advance(iteration)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        idx = (self._iteration // self.period) % len(self.buckets)
+        return self.buckets[idx].sample(rng)
+
+    @property
+    def support(self) -> tuple[int, int]:
+        return _union_support(self.buckets)

@@ -13,10 +13,14 @@ via ``executor.events.subscribe``).
 """
 
 from repro.engine.events import (
+    DriftDetected,
+    EstimatorRefit,
     EventBus,
     EventCounter,
     IterationEnd,
+    IterationObserved,
     IterationStart,
+    LifecycleTransition,
     MeasurementTaken,
     OomHit,
     RecoveryRung,
@@ -61,6 +65,10 @@ __all__ = [
     "TimelineObserver",
     "IterationStart",
     "IterationEnd",
+    "IterationObserved",
+    "LifecycleTransition",
+    "DriftDetected",
+    "EstimatorRefit",
     "UnitForward",
     "UnitBackward",
     "TimeCharged",

@@ -207,6 +207,71 @@ class IterationEnd:
     stats: "IterationStats"
 
 
+@dataclass(frozen=True, slots=True)
+class IterationObserved:
+    """One iteration's *surviving* stats are being handed to the planner.
+
+    Emitted by the executor once per :meth:`~repro.engine.executor
+    .TrainingExecutor.step`, after the recovery ladder has resolved —
+    unlike :class:`IterationEnd`, which also fires for OOM'd attempts
+    that are about to be rolled back and retried.  This is the event the
+    collect→fit→plan lifecycle controller is driven by: it carries
+    exactly the observation stream the planner's feedback loop sees.
+    """
+
+    stats: "IterationStats"
+
+
+@dataclass(frozen=True, slots=True)
+class LifecycleTransition:
+    """The planning lifecycle state machine changed state.
+
+    Published by :class:`~repro.core.lifecycle.LifecycleController`
+    (``COLLECTING → FITTED → MONITORING → DRIFTED → REFITTING``); the
+    ``reason`` is a human-readable trigger description ("initial fit",
+    "input-size drift", ...).
+    """
+
+    iteration: int
+    previous: str  # LifecycleState.value
+    current: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class DriftDetected:
+    """A lifecycle drift monitor crossed its detection threshold.
+
+    ``monitor`` names the firing detector (``"residual-page-hinkley"``
+    for the prediction-residual stream, ``"input-size-cusum"`` for the
+    input-size distribution monitor); ``statistic`` is the test statistic
+    at detection against the configured ``threshold``.
+    """
+
+    iteration: int
+    monitor: str
+    statistic: float
+    threshold: float
+
+
+@dataclass(frozen=True, slots=True)
+class EstimatorRefit:
+    """The lifecycle controller (re)fitted the memory estimator.
+
+    ``fit_count`` counts every fit including the initial one;
+    ``window_iterations`` is the collector window the fit was trained on.
+    ``invalidated`` reports whether the refit invalidation protocol
+    flushed the executor's replay/compiled tiers (always true for drift
+    or re-collection refits, false for the initial fit — there is nothing
+    stale to flush before the first fit exists).
+    """
+
+    iteration: int
+    fit_count: int
+    window_iterations: int
+    invalidated: bool
+
+
 # ---------------------------------------------------------------------------
 # The bus
 # ---------------------------------------------------------------------------

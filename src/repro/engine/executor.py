@@ -27,8 +27,9 @@ import numpy as np
 
 from repro.engine.compiled import CompiledCache
 from repro.engine.events import (
-    CompiledHit, EventBus, FaultArmObserver, IterationEnd, IterationStart,
-    OomHit, RecoveryRung, ReplayHit, ReplayPointRecorder, TimelineObserver,
+    CompiledHit, EventBus, FaultArmObserver, IterationEnd, IterationObserved,
+    IterationStart, OomHit, RecoveryRung, ReplayHit, ReplayPointRecorder,
+    TimelineObserver,
 )
 from repro.engine.replay import ReplayCache, ReplayKey, ReplayRecord
 from repro.engine.stats import IterationStats
@@ -147,6 +148,14 @@ class TrainingExecutor:
         if self.timeline is not None:
             TimelineObserver(self.timeline).attach(self.events)
         self._replay_points = ReplayPointRecorder().attach(self.events)
+        # A planner exposing a lifecycle controller (MimosePlanner) gets
+        # it wired to this executor's bus: the controller consumes the
+        # post-recovery observation stream (IterationObserved), publishes
+        # lifecycle/drift events, and gains the replay/compiled flush for
+        # its refit invalidation protocol.
+        lifecycle = getattr(planner, "lifecycle", None)
+        if lifecycle is not None:
+            lifecycle.attach(self.events, invalidate=self.invalidate_replay)
 
     def _allocate_static(self) -> list[Block]:
         static = self.model.static_memory()
@@ -216,6 +225,10 @@ class TrainingExecutor:
             and self.max_recovery_retries > 0
         ):
             stats = self._recover(batch, stats)
+        # The surviving stats (post-recovery) are the planner feedback
+        # stream; the lifecycle controller consumes them from the bus and
+        # the planner's observe call below is idempotent with it.
+        self.events.emit(IterationObserved(stats))
         self.planner.observe(stats)
         return stats
 

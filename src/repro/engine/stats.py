@@ -141,6 +141,11 @@ class RunResult:
     replay_misses: int = 0
     compiled_hits: int = 0
     compiled_misses: int = 0
+    # --- lifecycle activity (filled in by the runner post-run) ---
+    #: estimator refits after the initial fit (re-collection or drift)
+    refits: int = 0
+    #: drift-monitor firings (Page–Hinkley residual or input-size CUSUM)
+    drift_events: int = 0
 
     def append(self, stats: IterationStats) -> None:
         self.iterations.append(stats)
@@ -321,6 +326,8 @@ def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
                 "plan_cache_hit_rate": r.plan_cache_hit_rate,
                 "replay_hit_rate": r.replay_hit_rate,
                 "compiled_hit_rate": r.compiled_hit_rate,
+                "refits": r.refits,
+                "drift_events": r.drift_events,
             }
         )
     return rows

@@ -12,6 +12,7 @@ the same order.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import zlib
 from concurrent.futures import ProcessPoolExecutor
@@ -83,6 +84,8 @@ def make_planner(
     device: Optional[DeviceModel] = None,
     scheduler: Optional[str] = None,
     bwd_ratio: Optional[float] = None,
+    drift_detection: bool = False,
+    static_fit: bool = False,
 ) -> Planner:
     """Construct a planner by name, wired to the task's offline knowledge.
 
@@ -92,6 +95,11 @@ def make_planner(
     whose scheduler is runtime-pluggable).  ``bwd_ratio`` forces ratio
     pricing in the hybrid scheduler's cost model and is rejected
     elsewhere (only the hybrid path prices swaps).
+
+    ``drift_detection`` arms Mimose's lifecycle drift monitors (online
+    replanning); ``static_fit`` is the ablation comparator that never
+    refits — its recollect margin is infinite, so the initial fit is
+    trusted for every later input size.  Both are Mimose-only.
     """
     if scheduler is not None and name != "mimose":
         raise ValueError(
@@ -102,6 +110,13 @@ def make_planner(
             "--bwd-ratio applies to the hybrid scheduler only; pass "
             "--scheduler hybrid"
         )
+    if (drift_detection or static_fit) and name != "mimose":
+        raise ValueError(
+            "drift_detection/static_fit apply to the mimose planner only, "
+            f"not {name!r}"
+        )
+    if drift_detection and static_fit:
+        raise ValueError("drift_detection and static_fit are exclusive")
     if name == "baseline":
         return NoCheckpointPlanner(budget_bytes)
     if name == "sublinear":
@@ -123,14 +138,16 @@ def make_planner(
     if name == "capuchin":
         return CapuchinPlanner(budget_bytes)
     if name == "mimose":
-        if scheduler is None:
-            return MimosePlanner(budget_bytes)
-        return MimosePlanner(
-            budget_bytes,
-            scheduler=make_scheduler(
+        kwargs: dict[str, object] = {}
+        if scheduler is not None:
+            kwargs["scheduler"] = make_scheduler(
                 scheduler, device=device, bwd_ratio=bwd_ratio
-            ),
-        )
+            )
+        if drift_detection:
+            kwargs["drift_detection"] = True
+        if static_fit:
+            kwargs["recollect_margin"] = math.inf
+        return MimosePlanner(budget_bytes, **kwargs)  # type: ignore[arg-type]
     raise KeyError(f"unknown planner {name!r}; available: {PLANNER_NAMES}")
 
 
@@ -148,6 +165,8 @@ def run_task(
     scheduler: Optional[str] = None,
     bwd_ratio: Optional[float] = None,
     compiled: bool = True,
+    drift_detection: bool = False,
+    static_fit: bool = False,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -177,6 +196,10 @@ def run_task(
     ``compiled`` toggles the executor's compiled-template tier
     (``--no-compiled`` on the CLI disables it); results are bit-identical
     either way — the tier only changes how fast iterations are served.
+
+    ``drift_detection`` arms Mimose's lifecycle drift monitors;
+    ``static_fit`` freezes the initial fit (infinite recollect margin) —
+    the drift-benchmark comparator.  Both Mimose-only.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
@@ -187,6 +210,8 @@ def run_task(
         device=device,
         scheduler=scheduler,
         bwd_ratio=bwd_ratio,
+        drift_detection=drift_detection,
+        static_fit=static_fit,
     )
     planner.setup(ModelView(model))
     capacity = (
@@ -223,6 +248,10 @@ def run_task(
     if executor.compiled is not None:
         result.compiled_hits = executor.compiled.hits
         result.compiled_misses = executor.compiled.misses
+    lifecycle = getattr(planner, "lifecycle", None)
+    if lifecycle is not None:
+        result.refits = lifecycle.refit_count
+        result.drift_events = lifecycle.drift_events
     return result
 
 
@@ -272,9 +301,9 @@ def _pool_init(state: dict[str, object]) -> None:
 
 
 def _pool_run_point(
-    point: tuple[str, int, Optional[FaultPlan], int],
+    point: tuple[str, int, Optional[FaultPlan], int, bool, bool],
 ) -> RunResult:
-    planner_name, budget, faults, max_retries = point
+    planner_name, budget, faults, max_retries, drift, static = point
     return run_task(
         _POOL_STATE["task"],  # type: ignore[arg-type]
         planner_name,
@@ -284,6 +313,8 @@ def _pool_run_point(
         faults=faults,
         max_retries=max_retries,
         compiled=_POOL_STATE["compiled"],  # type: ignore[arg-type]
+        drift_detection=drift,
+        static_fit=static,
     )
 
 
@@ -333,6 +364,8 @@ def sweep(
     max_retries: int = 3,
     jobs: int = 1,
     compiled: bool = True,
+    drift_detection: bool = False,
+    static_fit: bool = False,
 ) -> list[RunResult]:
     """Grid of runs; the baseline (budget-independent) runs once.
 
@@ -343,12 +376,19 @@ def sweep(
     ``jobs > 1`` executes the grid points in that many worker processes;
     results are byte-identical to a serial sweep and arrive in the same
     order (see module docstring).
+
+    ``drift_detection``/``static_fit`` arm Mimose's lifecycle monitors /
+    freeze its initial fit; they apply to the sweep's ``mimose`` points
+    only, so mixed-planner sweeps under drift scenarios stay valid.
     """
     budgets = list(budgets)
-    points: list[tuple[str, int, Optional[FaultPlan], int]] = []
+    points: list[tuple[str, int, Optional[FaultPlan], int, bool, bool]] = []
     for name in planner_names:
+        mimose = name == "mimose"
+        drift = drift_detection and mimose
+        static = static_fit and mimose
         if name == "baseline":
-            points.append((name, budgets[0], None, max_retries))
+            points.append((name, budgets[0], None, max_retries, False, False))
             continue
         for budget in budgets:
             points.append(
@@ -357,6 +397,8 @@ def sweep(
                     budget,
                     _point_faults(faults, task.spec.abbr, name, budget),
                     max_retries,
+                    drift,
+                    static,
                 )
             )
     state = {

@@ -32,6 +32,7 @@ def _capability_row(name: str, caps) -> dict[str, object]:
         "checkpointing": caps.checkpointing,
         "dynamic_input": caps.dynamic_input,
         "dynamic_graph": caps.dynamic_graph,
+        "nonstationary_input": caps.nonstationary_input,
         "frag_avoidance": caps.fragmentation_avoidance,
         "granularity": caps.granularity,
         "plan_timing": caps.plan_timing,
@@ -47,6 +48,12 @@ def table1_rows() -> list[dict[str, object]]:
     planner with the excess-covering step swapped for the shared PCIe
     cost model, which adds Capuchin's swapping column while keeping
     every input-dynamics capability.
+
+    ``mimose-lifecycle`` is Mimose with the lifecycle drift monitors
+    armed (``--drift-scenario`` / ``drift_detection=True``): the same
+    planner surviving *non-stationary* input-size distributions via
+    online detection, partial re-collection and refitting — OOM
+    survival under drift is what ``benchmarks/bench_drift.py`` gates.
     """
     classes = [MimosePlanner, DTRPlanner, SublinearPlanner, CheckmatePlanner,
                MonetPlanner, CapuchinPlanner, NoCheckpointPlanner]
@@ -59,6 +66,17 @@ def table1_rows() -> list[dict[str, object]]:
                 MimosePlanner.capabilities,
                 swapping=True,
                 search_algorithm="hybrid-greedy",
+            ),
+        ),
+    )
+    rows.insert(
+        2,
+        _capability_row(
+            "mimose-lifecycle",
+            dataclasses.replace(
+                MimosePlanner.capabilities,
+                nonstationary_input=True,
+                plan_timing="runtime+replan",
             ),
         ),
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.data.datasets import DataLoader, make_dataset
+from repro.data.datasets import DataLoader, apply_drift_scenario, make_dataset
 from repro.models.base import BatchInput, SegmentedModel
 from repro.models.registry import build_model
 from repro.planners.analysis import full_checkpoint_peak, no_checkpoint_peak
@@ -130,13 +130,23 @@ def load_task(
     iterations: int = 100,
     seed: int = 0,
     calibration_samples: int = 200,
+    drift_scenario: str | None = None,
 ) -> TaskContext:
-    """Build the :class:`TaskContext` for a Table II abbreviation."""
+    """Build the :class:`TaskContext` for a Table II abbreviation.
+
+    ``drift_scenario`` names one of
+    :data:`repro.data.datasets.DRIFT_SCENARIOS` to rewrite the preset's
+    input-size samplers into a non-stationary trajectory spanning the
+    run (``--drift-scenario`` on the CLI); ``None`` keeps the paper's
+    stationary Table II distributions.
+    """
     try:
         spec = TASKS[abbr]
     except KeyError:
         raise KeyError(f"unknown task {abbr!r}; available: {sorted(TASKS)}") from None
     dataset = make_dataset(spec.dataset)
+    if drift_scenario is not None:
+        dataset = apply_drift_scenario(dataset, drift_scenario, iterations)
     loader = DataLoader(dataset, spec.batch_size, iterations, seed=seed)
     return TaskContext(
         spec=spec,

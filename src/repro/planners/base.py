@@ -350,6 +350,9 @@ class PlannerCapabilities:
     checkpointing: bool = True
     dynamic_input: bool = False
     dynamic_graph: bool = False
+    #: survives a *shifting* input-size distribution (drift monitors +
+    #: online replanning) — beyond per-iteration dynamic_input handling
+    nonstationary_input: bool = False
     fragmentation_avoidance: str = "none"
     granularity: str = "layer"
     plan_timing: str = "offline"

@@ -61,4 +61,5 @@ def test_examples_exist():
         "object_detection.py",
         "custom_scheduler.py",
         "memory_timeline.py",
+        "drift_replanning.py",
     } <= names

@@ -1,0 +1,133 @@
+"""Executor-level lifecycle behaviour under drift scenarios.
+
+Pins the two determinism contracts the online-replanning path must keep:
+
+* a refit mid-run flushes the replay/compiled tiers through the
+  executor-bound invalidation callback, and the flush is digest-neutral
+  (the fast-path tiers are bit-identical to full simulation by
+  construction, so only *how fast* iterations are served may change);
+* parallel sweeps stay byte-identical to serial ones under every
+  non-stationary input scenario, exactly as on stationary workloads.
+
+Digest mismatches are reported at the *first divergent iteration* via
+``RunResult.rolling_digests`` so a failure names the iteration where
+simulated behaviour split, not just that it did.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import DRIFT_SCENARIOS
+from repro.engine.events import EstimatorRefit
+from repro.engine.stats import RunResult
+from repro.experiments.runner import run_task, sweep
+from repro.experiments.tasks import GB, load_task
+
+TASK = "TC-Bert"
+ITERATIONS = 30
+BUDGET = int(5.0 * GB)
+
+
+def assert_same_run(a: RunResult, b: RunResult, context: str) -> None:
+    ra, rb = a.rolling_digests(), b.rolling_digests()
+    for i, (da, db) in enumerate(zip(ra, rb)):
+        assert da == db, (
+            f"{context}: first divergent iteration {i} "
+            f"({a.iterations[i]} != {b.iterations[i]})"
+        )
+    assert len(ra) == len(rb), (
+        f"{context}: run lengths differ ({len(ra)} != {len(rb)})"
+    )
+
+
+class RefitRecorder:
+    def __init__(self):
+        self.events: list[EstimatorRefit] = []
+
+    def attach(self, bus) -> "RefitRecorder":
+        bus.subscribe(self, EstimatorRefit)
+        return self
+
+    def __call__(self, event: EstimatorRefit) -> None:
+        self.events.append(event)
+
+
+def drift_run(scenario: str, seed: int = 0, **kwargs) -> RunResult:
+    task = load_task(
+        TASK, iterations=ITERATIONS, seed=seed, drift_scenario=scenario
+    )
+    return run_task(
+        task,
+        "mimose",
+        BUDGET,
+        max_iterations=ITERATIONS,
+        drift_detection=True,
+        **kwargs,
+    )
+
+
+def test_refit_mid_run_invalidates_fastpath_tiers():
+    recorder = RefitRecorder()
+    result = drift_run(
+        "regime-switch", observers=[lambda ex: recorder.attach(ex.events)]
+    )
+    # The regime switch forces at least one mid-run refit...
+    assert result.refits >= 1
+    assert result.refits == sum(1 for e in recorder.events if e.invalidated)
+    # ...and every refit ran the full invalidation protocol (the initial
+    # fit, which precedes any replay/compiled entries, never does).
+    initial = [e for e in recorder.events if not e.invalidated]
+    assert len(initial) == 1
+
+
+def test_refit_invalidation_is_digest_neutral_and_deterministic():
+    for scenario in DRIFT_SCENARIOS:
+        with_compiled = drift_run(scenario)
+        without = drift_run(scenario, compiled=False)
+        assert_same_run(
+            with_compiled, without, f"{scenario}: compiled on vs off"
+        )
+        again = drift_run(scenario)
+        assert_same_run(with_compiled, again, f"{scenario}: repeat run")
+        # determinism extends to the fast-path counters themselves: the
+        # same refits flush the same entries at the same iterations
+        assert with_compiled.replay_hits == again.replay_hits
+        assert with_compiled.compiled_hits == again.compiled_hits
+        assert with_compiled.refits == again.refits
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    scenario=st.sampled_from(DRIFT_SCENARIOS),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_parallel_sweep_matches_serial_under_drift(scenario, seed):
+    task = load_task(
+        TASK, iterations=ITERATIONS, seed=seed, drift_scenario=scenario
+    )
+    budgets = [int(4.5 * GB), int(5.5 * GB)]
+    serial = sweep(
+        task,
+        ("mimose",),
+        budgets,
+        max_iterations=ITERATIONS,
+        drift_detection=True,
+        jobs=1,
+    )
+    parallel = sweep(
+        task,
+        ("mimose",),
+        budgets,
+        max_iterations=ITERATIONS,
+        drift_detection=True,
+        jobs=2,
+    )
+    assert len(serial) == len(parallel) == len(budgets)
+    for s, p in zip(serial, parallel):
+        assert_same_run(
+            s, p, f"{scenario} seed={seed} budget={s.budget_bytes}"
+        )
+        assert s.refits == p.refits
+        assert s.drift_events == p.drift_events

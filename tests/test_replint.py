@@ -267,6 +267,57 @@ def test_plan_membership_rule_respects_allow_globs():
 
 
 # ---------------------------------------------------------------------------
+# lifecycle-protocol
+# ---------------------------------------------------------------------------
+
+
+def test_lifecycle_rule_flags_direct_estimator_fit():
+    bad = (
+        "def refit(self, collector):\n"
+        "    self.estimator.fit(collector)\n"
+    )
+    assert "lifecycle-protocol" in rule_ids(analyze_sources({"m.py": bad}))
+
+
+def test_lifecycle_rule_flags_estimator_fit_base():
+    bad = (
+        "def refit(estimator, sizes, peaks):\n"
+        "    estimator.fit_base(sizes, peaks)\n"
+    )
+    assert "lifecycle-protocol" in rule_ids(analyze_sources({"m.py": bad}))
+
+
+def test_lifecycle_rule_flags_collector_resets():
+    for call in ("self.collector.clear()", "collector.evict_oldest(keep=2)"):
+        bad = f"def reset(self, collector):\n    {call}\n"
+        assert "lifecycle-protocol" in rule_ids(
+            analyze_sources({"m.py": bad})
+        ), call
+
+
+def test_lifecycle_rule_allows_unrelated_fit_and_clear():
+    good = (
+        "def f(tree, xs, ys, seen, cache):\n"
+        "    tree.fit(xs, ys)\n"       # regressor internals
+        "    seen.clear()\n"           # plain containers
+        "    cache.clear()\n"          # the plan cache is not a collector
+    )
+    assert "lifecycle-protocol" not in rule_ids(
+        analyze_sources({"m.py": good})
+    )
+
+
+def test_lifecycle_rule_respects_allow_globs():
+    bad = "def f(self, c):\n    self.estimator.fit(c)\n"
+    rules = create_rules(
+        {"lifecycle-protocol": {"allow": ["src/repro/core/lifecycle.py"]}},
+        select=["lifecycle-protocol"],
+    )
+    assert analyze_sources({"src/repro/core/lifecycle.py": bad}, rules) == []
+    assert analyze_sources({"src/repro/planners/x.py": bad}, rules) != []
+
+
+# ---------------------------------------------------------------------------
 # byte-units
 # ---------------------------------------------------------------------------
 
