@@ -16,10 +16,15 @@ rule                          invariant
 ``mode-branching``            ``ExecutionMode`` dispatch happens only in the
                               strategy registry
 ``event-bus-protocol``        bus payloads are frozen slotted dataclasses;
-                              observers are callable; hot-path emits are
-                              guarded by ``bus.wants()``
-``byte-units``                no additive arithmetic mixing ``*_bytes`` with
-                              ``*_mb``/``*_gb`` values
+                              observers are callable
+``determinism-taint``         no wall-clock/unseeded-RNG *value* flows into
+                              digest-bearing state (dataflow tier)
+``unit-flow``                 inferred bytes/KB/MB/GB/s/ms units never mix
+                              additively, even through temporaries
+``guard-dominance``           hot-path emits are CFG-dominated by a
+                              ``bus.wants()`` branch
+``invalidation-reachability``  every estimator-refit call path reaches the
+                              plan-cache/replay/compiled flush
 ============================  =============================================
 
 Run it with ``python -m repro.analysis [paths...]`` (or the ``replint``

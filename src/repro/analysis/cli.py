@@ -27,7 +27,12 @@ from repro.analysis.core import (
     analyze_contexts,
     registered_rules,
 )
-from repro.analysis.reporting import render_json, render_rule_list, render_text
+from repro.analysis.reporting import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,9 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif is the GitHub "
+        "code-scanning upload format",
     )
     parser.add_argument(
         "--output",
@@ -143,6 +149,8 @@ def _run(args: argparse.Namespace) -> int:
         report = render_json(
             result.fresh, suppressed=result.suppressed, stale=result.stale
         )
+    elif args.format == "sarif":
+        report = render_sarif(result.fresh, rules=registered_rules())
     else:
         report = render_text(
             result.fresh,

@@ -5,8 +5,9 @@ repo supports, and one leg of the CI matrix) neither ``tomllib`` nor a
 third-party TOML parser is guaranteed to be importable, and the repo
 policy is to gate missing dependencies rather than require them.  The
 fallback parser below therefore understands exactly the TOML subset the
-``[tool.replint*]`` tables use — string/bool/int scalars and single-line
-string arrays — and nothing more.
+``[tool.replint*]`` tables use — string/bool/int scalars and string
+arrays, single-line or spread over multiple lines with trailing commas
+and interior comment lines — and nothing more.
 """
 
 from __future__ import annotations
@@ -100,7 +101,8 @@ _KEYVAL = re.compile(r"^(?P<key>[\w\-\"]+)\s*=\s*(?P<value>.+)$")
 def _parse_minimal_toml(text: str) -> dict:
     root: dict = {}
     current = root
-    for raw in text.splitlines():
+    lines = iter(text.splitlines())
+    for raw in lines:
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -118,10 +120,36 @@ def _parse_minimal_toml(text: str) -> dict:
             continue
         m = _KEYVAL.match(line)
         if m:
-            current[m.group("key").strip('"')] = _parse_value(
-                m.group("value").strip()
-            )
+            value = m.group("value").strip()
+            # multi-line array: keep consuming lines until every bracket
+            # opened outside a string closes again; interior comment and
+            # blank lines are dropped
+            while _bracket_depth(value) > 0:
+                nxt = next(lines, None)
+                if nxt is None:
+                    break
+                nxt = nxt.strip()
+                if not nxt or nxt.startswith("#"):
+                    continue
+                value += " " + nxt
+            current[m.group("key").strip('"')] = _parse_value(value)
     return root
+
+
+def _bracket_depth(value: str) -> int:
+    """Net count of ``[`` not yet closed by ``]``, outside strings."""
+    depth, quote = 0, ""
+    for ch in value:
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return depth
 
 
 def _parse_value(value: str):
@@ -135,7 +163,11 @@ def _parse_value(value: str):
         inner = value[1:-1].strip()
         if not inner:
             return []
-        return [_parse_value(v.strip()) for v in _split_items(inner)]
+        return [
+            _parse_value(v.strip())
+            for v in _split_items(inner)
+            if v.strip()  # tolerate the trailing comma of wrapped arrays
+        ]
     if (value.startswith('"') and value.endswith('"')) or (
         value.startswith("'") and value.endswith("'")
     ):

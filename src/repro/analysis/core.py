@@ -79,8 +79,25 @@ class FileContext:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=self.relpath)
         self._ignores: Optional[dict[int, Optional[set[str]]]] = None
+        #: scratch space for analyses that derive per-file artifacts worth
+        #: sharing across rules (CFGs, scope tables, import maps).  Keyed
+        #: by whatever the producing analysis chooses; lives exactly as
+        #: long as the context, i.e. one analysis run.
+        self.cache: dict = {}
+        self._nodes: Optional[tuple[ast.AST, ...]] = None
 
     # ------------------------------------------------------------- helpers
+
+    def nodes(self) -> tuple[ast.AST, ...]:
+        """Every AST node of the file, cached.
+
+        A dozen rules each doing their own ``ast.walk(ctx.tree)`` was
+        the single largest cost of a full-repo run; one shared walk per
+        file keeps the lint gate fast (see bench_replint_selfcheck).
+        """
+        if self._nodes is None:
+            self._nodes = tuple(ast.walk(self.tree))
+        return self._nodes
 
     def code_at(self, line: int) -> str:
         """The stripped source text of a 1-based line (baseline key)."""

@@ -1,0 +1,61 @@
+"""The dataflow tier of replint: CFGs, lattices, taint and call graphs.
+
+The syntactic rules in :mod:`repro.analysis.rules` see one AST node at a
+time; this package gives rules *flow* — an intraprocedural control-flow
+graph per scope (:mod:`.cfg`), a generic forward fixpoint solver over
+configurable lattices (:mod:`.lattice`), a taint engine with pluggable
+source detectors and call summaries (:mod:`.taint`), and a project-wide
+name-resolved call graph built during the driver's ``collect`` pass
+(:mod:`.callgraph`).
+
+Dataflow rules keep the exact same :class:`repro.analysis.core.Rule`
+protocol as syntactic ones — they just build their facts here instead of
+walking raw ASTs.  Per-file artifacts (CFGs, scope tables) are memoized
+on :attr:`repro.analysis.core.FileContext.cache` so several rules share
+one construction.
+"""
+
+from repro.analysis.dataflow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    Block,
+    build_cfg,
+    cfg_for_scope,
+    dominators,
+    iter_scopes,
+    scopes_for,
+    own_exprs,
+    shallow_walk,
+)
+from repro.analysis.dataflow.lattice import (
+    ForwardAnalysis,
+    Unit,
+    join_units,
+    solve_forward,
+)
+from repro.analysis.dataflow.taint import (
+    SourceDetector,
+    TaintEngine,
+    TaintSource,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "build_cfg",
+    "cfg_for_scope",
+    "dominators",
+    "iter_scopes",
+    "scopes_for",
+    "own_exprs",
+    "shallow_walk",
+    "ForwardAnalysis",
+    "solve_forward",
+    "Unit",
+    "join_units",
+    "SourceDetector",
+    "TaintEngine",
+    "TaintSource",
+    "CallGraph",
+    "FunctionInfo",
+]

@@ -1,0 +1,272 @@
+"""Project-wide call graph, built during the driver's ``collect`` pass.
+
+Name resolution is deliberately heuristic — replint has no type
+inference — but the heuristics are the *same* ones the codebase's own
+conventions make reliable, mirroring the receiver-name matching the
+syntactic ``lifecycle-protocol`` rule already uses:
+
+* a bare ``name(...)`` call resolves to a module-level function of the
+  same module, or through a ``from x import name`` to module ``x``;
+* ``self.m(...)`` resolves to method ``m`` of the enclosing class, then
+  of its (project-local) base classes;
+* ``recv.m(...)`` resolves to every method ``m`` on classes whose
+  lowercase name contains the receiver's last attribute segment
+  (``self.estimator.fit`` → ``CostEstimator.fit``), for segments of at
+  least three characters so ``x.get`` cannot fan out everywhere.
+
+Unresolvable calls (stdlib, numpy, dynamic dispatch) simply produce no
+edge; rules built on reachability must treat "no edge" as "no
+knowledge", which both shipped consumers do.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.core import FileContext, dotted_name
+from repro.analysis.dataflow.cfg import shallow_walk
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method definition in the analyzed project."""
+
+    qualname: str  # "<module>:<Class>.<name>" or "<module>:<name>"
+    module: str
+    cls: Optional[str]
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    relpath: str
+    #: every Call node in the function's own body (shallow), computed
+    #: once per file context and shared by every graph consumer
+    calls: tuple[ast.Call, ...] = ()
+    #: resolved callee qualnames, filled by :meth:`CallGraph.resolve`
+    callees: set[str] = field(default_factory=set)
+
+
+def module_name(relpath: str) -> str:
+    """``src/repro/core/planner.py`` → ``repro.core.planner``."""
+    mod = relpath[:-3] if relpath.endswith(".py") else relpath
+    if mod.startswith("src/"):
+        mod = mod[4:]
+    mod = mod.replace("/", ".")
+    if mod.endswith(".__init__"):
+        mod = mod[: -len(".__init__")]
+    return mod
+
+
+class CallGraph:
+    """Functions, classes, imports and resolved call edges of a project.
+
+    Build with one :meth:`add_file` per :class:`FileContext` during
+    ``collect``; edges are resolved lazily on first reachability or
+    caller query so the graph is complete before anyone reads it.
+    """
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: module → {function name → qualname} (module-level defs only)
+        self.module_scope: dict[str, dict[str, str]] = {}
+        #: module → {class name → {method name → qualname}}
+        self.classes: dict[str, dict[str, dict[str, str]]] = {}
+        #: module → {class name → base class names (last dotted segment)}
+        self.bases: dict[str, dict[str, list[str]]] = {}
+        #: module → {local name → (source module, original name)}
+        self.from_imports: dict[str, dict[str, tuple[str, str]]] = {}
+        #: method name → [qualname] across every class in the project
+        self.methods_by_name: dict[str, list[str]] = {}
+        #: id(FunctionDef node) → qualname, for scope → info lookups
+        self._by_node: dict[int, str] = {}
+        #: callee qualname → caller qualnames (built by resolve)
+        self.callers: dict[str, set[str]] = {}
+        self._pending: list[tuple[FileContext, str]] = []
+        self._resolved = False
+
+    # ------------------------------------------------------------ building
+
+    def add_file(self, ctx: FileContext) -> None:
+        mod = module_name(ctx.relpath)
+        self.module_scope.setdefault(mod, {})
+        self.classes.setdefault(mod, {})
+        self.bases.setdefault(mod, {})
+        imports = self.from_imports.setdefault(mod, {})
+        for node in ctx.nodes():
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, mod, None, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(ctx, mod, stmt)
+        self._pending.append((ctx, mod))
+        self._resolved = False
+
+    def _add_class(self, ctx: FileContext, mod: str, node: ast.ClassDef) -> None:
+        methods = self.classes[mod].setdefault(node.name, {})
+        bases = []
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is not None:
+                bases.append(dotted.rpartition(".")[2])
+        self.bases[mod][node.name] = bases
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(ctx, mod, node.name, stmt)
+                methods[stmt.name] = info.qualname
+
+    def _add_function(
+        self,
+        ctx: FileContext,
+        mod: str,
+        cls: Optional[str],
+        node,
+    ) -> FunctionInfo:
+        local = f"{cls}.{node.name}" if cls else node.name
+        qualname = f"{mod}:{local}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=mod,
+            cls=cls,
+            name=node.name,
+            node=node,
+            relpath=ctx.relpath,
+            calls=body_calls(ctx, node),
+        )
+        self.functions[qualname] = info
+        self._by_node[id(node)] = qualname
+        if cls is None:
+            self.module_scope[mod][node.name] = qualname
+        else:
+            self.methods_by_name.setdefault(node.name, []).append(qualname)
+        return info
+
+    # ----------------------------------------------------------- resolution
+
+    def resolve(self) -> None:
+        """Resolve every call site of every known function into edges."""
+        if self._resolved:
+            return
+        self._resolved = True
+        self.callers = {}
+        for info in self.functions.values():
+            info.callees.clear()
+            for sub in info.calls:
+                for callee in self.resolve_call(info, sub):
+                    info.callees.add(callee)
+                    self.callers.setdefault(callee, set()).add(
+                        info.qualname
+                    )
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> list[str]:
+        """Qualnames a call *may* dispatch to (empty when unknown)."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return []
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return self._resolve_plain(caller.module, parts[0])
+        method = parts[-1]
+        receiver = parts[-2]
+        if parts[0] == "self" and len(parts) == 2 and caller.cls is not None:
+            found = self._resolve_self(caller.module, caller.cls, method)
+            if found:
+                return found
+        # receiver-name → class-name heuristic (lifecycle-rule idiom)
+        seg = receiver.lstrip("_")
+        if len(seg) < 3:
+            return []
+        out = []
+        for qualname in self.methods_by_name.get(method, ()):
+            info = self.functions[qualname]
+            if info.cls is not None and seg.lower() in info.cls.lower():
+                out.append(qualname)
+        return out
+
+    def _resolve_plain(self, mod: str, name: str) -> list[str]:
+        found = self.module_scope.get(mod, {}).get(name)
+        if found is not None:
+            return [found]
+        imported = self.from_imports.get(mod, {}).get(name)
+        if imported is not None:
+            src_mod, orig = imported
+            found = self.module_scope.get(src_mod, {}).get(orig)
+            if found is not None:
+                return [found]
+        return []
+
+    def _resolve_self(
+        self, mod: str, cls: str, method: str, _seen: Optional[set] = None
+    ) -> list[str]:
+        _seen = _seen if _seen is not None else set()
+        if (mod, cls) in _seen:
+            return []
+        _seen.add((mod, cls))
+        found = self.classes.get(mod, {}).get(cls, {}).get(method)
+        if found is not None:
+            return [found]
+        # walk project-local base classes, searching every module that
+        # defines a class of that name (base names are unqualified)
+        for base in self.bases.get(mod, {}).get(cls, ()):
+            for other_mod, classes in self.classes.items():
+                if base in classes:
+                    found_b = self._resolve_self(other_mod, base, method, _seen)
+                    if found_b:
+                        return found_b
+        return []
+
+    # -------------------------------------------------------------- queries
+
+    def function_for_node(self, node: ast.AST) -> Optional[FunctionInfo]:
+        qualname = self._by_node.get(id(node))
+        return self.functions.get(qualname) if qualname else None
+
+    def reachable_from(self, start: Iterable[str]) -> set[str]:
+        """Qualnames transitively callable from ``start`` (inclusive)."""
+        self.resolve()
+        seen = set(start)
+        stack = list(seen)
+        while stack:
+            info = self.functions.get(stack.pop())
+            if info is None:
+                continue
+            for callee in info.callees:
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def callers_of(self, qualname: str) -> set[str]:
+        self.resolve()
+        return self.callers.get(qualname, set())
+
+
+def shallow_walk_body(scope) -> Iterable[ast.AST]:
+    """Shallow-walk every statement of a function body (not the scope
+    node itself, whose decorators/defaults belong to the enclosing
+    scope)."""
+    for stmt in scope.body:
+        yield from shallow_walk(stmt)
+
+
+def body_calls(ctx: FileContext, scope) -> tuple[ast.Call, ...]:
+    """Memoized Call nodes of one scope's own body.
+
+    Five consumers scan function bodies for calls (edge resolution in
+    two graphs, taint-summary seeding, flush and fit detection); the
+    walk happens once per function per analysis run.
+    """
+    cache = ctx.cache.setdefault("dataflow.calls", {})
+    key = id(scope)
+    calls = cache.get(key)
+    if calls is None:
+        calls = tuple(
+            n for n in shallow_walk_body(scope) if isinstance(n, ast.Call)
+        )
+        cache[key] = calls
+    return calls

@@ -1,0 +1,530 @@
+"""Intraprocedural control-flow graphs over Python statement lists.
+
+One :class:`CFG` is built per *scope* — a function body or the module
+top level — with basic blocks of simple statements, labelled edges for
+branches (``"true"``/``"false"`` on ``if``/``while``/``for``/``assert``
+tests, ``"case"`` on ``match`` arms, ``"exc"`` into exception handlers)
+and a single synthetic exit block.  Nested function and class bodies are
+*not* inlined: a ``def`` statement is an ordinary simple statement of
+the enclosing scope, and gets its own CFG through :func:`iter_scopes`.
+
+Precision notes, deliberate and documented:
+
+* inside a ``try`` body every *top-level* statement starts a fresh block
+  with an ``"exc"`` edge to each handler, so a handler is never wrongly
+  dominated by a later ``try``-body statement.  Exceptions raised from
+  blocks nested deeper (an ``if`` arm inside the ``try``) share their
+  statement's edge — conservative enough for the dominance queries the
+  rules ask.
+* ``finally`` bodies are modelled on the fall-through path only.
+* statements after an unconditional ``return``/``raise``/``break`` land
+  in unreachable blocks; :func:`dominators` ignores blocks (and edges
+  from blocks) the entry cannot reach.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Union
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: statement types that open a nested scope — their bodies belong to a
+#: different CFG and must not leak into the enclosing scope's analysis
+_SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+_SCOPE_EXPRS = (ast.Lambda,)
+
+
+class Block:
+    """One basic block: simple statements plus an optional terminator."""
+
+    __slots__ = ("id", "stmts", "terminator", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.id = bid
+        #: simple (non-branching) statements, in order
+        self.stmts: list[ast.stmt] = []
+        #: the branching statement closing this block (If/While/For/
+        #: Match/Assert), or None for straight-line blocks
+        self.terminator: Optional[ast.stmt] = None
+        #: outgoing edges as (successor, label) pairs
+        self.succs: list[tuple["Block", Optional[str]]] = []
+        self.preds: list["Block"] = []
+
+    def link(self, other: "Block", label: Optional[str] = None) -> None:
+        self.succs.append((other, label))
+        other.preds.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = ", ".join(f"{b.id}:{lbl or '-'}" for b, lbl in self.succs)
+        return f"<Block {self.id} stmts={len(self.stmts)} -> [{edges}]>"
+
+
+class CFG:
+    """A scope's control-flow graph."""
+
+    def __init__(self, scope: Optional[ScopeNode] = None) -> None:
+        self.scope = scope
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    # ------------------------------------------------------------ queries
+
+    def reachable(self) -> list[Block]:
+        """Blocks reachable from the entry, in discovery order."""
+        seen = {self.entry.id}
+        order = [self.entry]
+        stack = [self.entry]
+        while stack:
+            for succ, _ in stack.pop().succs:
+                if succ.id not in seen:
+                    seen.add(succ.id)
+                    order.append(succ)
+                    stack.append(succ)
+        return order
+
+    def rpo(self) -> list[Block]:
+        """Reachable blocks in reverse postorder (good worklist order)."""
+        seen: set[int] = set()
+        post: list[Block] = []
+
+        def visit(b: Block) -> None:
+            stack = [(b, iter(b.succs))]
+            seen.add(b.id)
+            while stack:
+                block, it = stack[-1]
+                advanced = False
+                for succ, _ in it:
+                    if succ.id not in seen:
+                        seen.add(succ.id)
+                        stack.append((succ, iter(succ.succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(block)
+                    stack.pop()
+
+        visit(self.entry)
+        return post[::-1]
+
+    def block_of(self, node: ast.AST) -> Optional[Block]:
+        """The reachable block whose statements (or terminator test)
+        contain ``node``.  Linear scan — callers hold few queries."""
+        for block in self.reachable():
+            for stmt in block.stmts:
+                for sub in shallow_walk(stmt):
+                    if sub is node:
+                        return block
+            term = block.terminator
+            if term is not None:
+                for expr in _terminator_exprs(term):
+                    for sub in shallow_walk(expr):
+                        if sub is node:
+                            return block
+        return None
+
+
+def _terminator_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Assert):
+        return [stmt.test] + ([stmt.msg] if stmt.msg else [])
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+def own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """Expressions evaluated by a statement *itself*.
+
+    Nested statement bodies are excluded — in a CFG they live in their
+    own blocks, so a check pass scanning ``own_exprs`` of every yielded
+    statement sees each expression exactly once, under the environment
+    that actually reaches it.
+    """
+    out: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        out.extend(stmt.targets)
+        out.append(stmt.value)
+    elif isinstance(stmt, ast.AnnAssign):
+        out.append(stmt.target)
+        if stmt.value is not None:
+            out.append(stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        out.extend((stmt.target, stmt.value))
+    elif isinstance(stmt, ast.Expr):
+        out.append(stmt.value)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            out.append(stmt.value)
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            out.append(stmt.exc)
+        if stmt.cause is not None:
+            out.append(stmt.cause)
+    elif isinstance(stmt, ast.Delete):
+        out.extend(stmt.targets)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+    else:
+        out.extend(_terminator_exprs(stmt))
+    return out
+
+
+def shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes.
+
+    The body of a nested ``def``/``class``/``lambda`` belongs to its own
+    CFG; scanning it from the enclosing block would attribute its calls
+    and assignments to the wrong control-flow context.  The rule applies
+    to the *root* too: passing a ``FunctionDef`` statement yields just
+    that node — walk a scope's body statements (not the scope node) to
+    see its contents.
+    """
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        if isinstance(cur, _SCOPE_STMTS) or isinstance(cur, _SCOPE_EXPRS):
+            continue
+        for child in ast.iter_child_nodes(cur):
+            stack.append(child)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.current: Block = cfg.entry
+        #: True while self.current is on a path from the entry; False
+        #: after return/raise/break so dead code cannot add join edges
+        self.live = True
+        self.loop_stack: list[tuple[Block, Block]] = []  # (header, after)
+        self.handler_stack: list[list[Block]] = []
+
+    # ------------------------------------------------------------- helpers
+
+    def _fresh(self) -> Block:
+        """Open a new current block with no incoming edge (dead code)."""
+        self.current = self.cfg.new_block()
+        self.live = False
+        return self.current
+
+    def _move_to(self, block: Block, *, link: bool = True,
+                 label: Optional[str] = None) -> None:
+        if link and self.live:
+            self.current.link(block, label)
+        self.current = block
+        self.live = True
+
+    def _close_branch(self, terminator: ast.stmt) -> Block:
+        """Mark the terminator on the current block and return it."""
+        origin = self.current
+        origin.terminator = terminator
+        return origin
+
+    # --------------------------------------------------------------- visit
+
+    def build(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.visit(stmt)
+        if self.live:
+            self.current.link(self.cfg.exit)
+
+    def visit_body(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"_visit_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+            return
+        self._simple(stmt)
+
+    def _simple(self, stmt: ast.stmt) -> None:
+        if self.handler_stack and self.live:
+            # every top-level try-body statement gets its own block with
+            # an exception edge into each handler (see module docstring)
+            nb = self.cfg.new_block()
+            self.current.link(nb)
+            self.current = nb
+            for handler in self.handler_stack[-1]:
+                nb.link(handler, "exc")
+        self.current.stmts.append(stmt)
+
+    # --- branches
+
+    def _visit_If(self, stmt: ast.If) -> None:
+        origin = self._close_branch(stmt)
+        then_b = self.cfg.new_block()
+        after = self.cfg.new_block()
+        was_live = self.live
+        if was_live:
+            origin.link(then_b, "true")
+        self.current, self.live = then_b, was_live
+        self.visit_body(stmt.body)
+        if self.live:
+            self.current.link(after)
+        if stmt.orelse:
+            else_b = self.cfg.new_block()
+            if was_live:
+                origin.link(else_b, "false")
+            self.current, self.live = else_b, was_live
+            self.visit_body(stmt.orelse)
+            if self.live:
+                self.current.link(after)
+        elif was_live:
+            origin.link(after, "false")
+        self.current = after
+        self.live = bool(after.preds)
+
+    def _visit_While(self, stmt: ast.While) -> None:
+        header = self.cfg.new_block()
+        self._move_to(header)
+        header.terminator = stmt
+        body = self.cfg.new_block()
+        after = self.cfg.new_block()
+        header.link(body, "true")
+        is_forever = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        if not is_forever:
+            header.link(after, "false")
+        self.loop_stack.append((header, after))
+        self.current, self.live = body, True
+        self.visit_body(stmt.body)
+        if self.live:
+            self.current.link(header)
+        self.loop_stack.pop()
+        if stmt.orelse:
+            # the else arm runs on normal loop exit; fold it onto the
+            # after path (break skips it — approximation noted)
+            self.current, self.live = after, bool(after.preds)
+            self.visit_body(stmt.orelse)
+            return
+        self.current = after
+        self.live = bool(after.preds)
+
+    def _visit_For(self, stmt: ast.For) -> None:
+        self._for_like(stmt)
+
+    def _visit_AsyncFor(self, stmt: ast.AsyncFor) -> None:
+        self._for_like(stmt)
+
+    def _for_like(self, stmt) -> None:
+        header = self.cfg.new_block()
+        self._move_to(header)
+        header.terminator = stmt
+        body = self.cfg.new_block()
+        after = self.cfg.new_block()
+        header.link(body, "true")
+        header.link(after, "false")
+        self.loop_stack.append((header, after))
+        self.current, self.live = body, True
+        self.visit_body(stmt.body)
+        if self.live:
+            self.current.link(header)
+        self.loop_stack.pop()
+        if stmt.orelse:
+            self.current, self.live = after, True
+            self.visit_body(stmt.orelse)
+            return
+        self.current, self.live = after, True
+
+    def _visit_Match(self, stmt: ast.Match) -> None:
+        origin = self._close_branch(stmt)
+        after = self.cfg.new_block()
+        was_live = self.live
+        exhaustive = False
+        for case in stmt.cases:
+            case_b = self.cfg.new_block()
+            if was_live:
+                origin.link(case_b, "case")
+            self.current, self.live = case_b, was_live
+            self.visit_body(case.body)
+            if self.live:
+                self.current.link(after)
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                exhaustive = True
+        if was_live and not exhaustive:
+            origin.link(after, "false")
+        self.current = after
+        self.live = bool(after.preds)
+
+    def _visit_Assert(self, stmt: ast.Assert) -> None:
+        origin = self._close_branch(stmt)
+        after = self.cfg.new_block()
+        if self.live:
+            origin.link(after, "true")
+            origin.link(self.cfg.exit, "false")
+        self.current = after
+        self.live = bool(after.preds)
+
+    # --- exceptions
+
+    def _visit_Try(self, stmt) -> None:
+        handlers = [self.cfg.new_block() for _ in stmt.handlers]
+        after = self.cfg.new_block()
+        self.handler_stack.append(handlers)
+        self.visit_body(stmt.body)
+        self.handler_stack.pop()
+        if stmt.orelse:
+            self.visit_body(stmt.orelse)
+        if self.live:
+            self.current.link(after)
+        for handler, block in zip(stmt.handlers, handlers):
+            self.current, self.live = block, True
+            self.visit_body(handler.body)
+            if self.live:
+                self.current.link(after)
+        self.current = after
+        self.live = bool(after.preds)
+        if stmt.finalbody:
+            # fall-through path only (see module docstring)
+            self.visit_body(stmt.finalbody)
+
+    _visit_TryStar = _visit_Try
+
+    # --- with
+
+    def _visit_With(self, stmt) -> None:
+        self._simple(stmt)
+        self.visit_body(stmt.body)
+
+    _visit_AsyncWith = _visit_With
+
+    # --- jumps
+
+    def _visit_Return(self, stmt: ast.Return) -> None:
+        self._simple(stmt)
+        if self.live:
+            self.current.link(self.cfg.exit)
+        self._fresh()
+
+    def _visit_Raise(self, stmt: ast.Raise) -> None:
+        self._simple(stmt)
+        if self.live:
+            if self.handler_stack:
+                for handler in self.handler_stack[-1]:
+                    self.current.link(handler, "exc")
+            else:
+                self.current.link(self.cfg.exit)
+        self._fresh()
+
+    def _visit_Break(self, stmt: ast.Break) -> None:
+        self._simple(stmt)
+        if self.live and self.loop_stack:
+            self.current.link(self.loop_stack[-1][1])
+        self._fresh()
+
+    def _visit_Continue(self, stmt: ast.Continue) -> None:
+        self._simple(stmt)
+        if self.live and self.loop_stack:
+            self.current.link(self.loop_stack[-1][0])
+        self._fresh()
+
+
+def build_cfg(scope: ScopeNode) -> CFG:
+    """Build the CFG of one scope's statement list."""
+    cfg = CFG(scope)
+    _Builder(cfg).build(scope.body)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Scope iteration & per-context memoization
+# ---------------------------------------------------------------------------
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ScopeNode]:
+    """The module itself, then every (nested) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scopes_for(ctx) -> tuple[ScopeNode, ...]:
+    """Memoized :func:`iter_scopes` over a FileContext's tree.
+
+    Three dataflow rules iterate the same scope list per file; one walk
+    (reusing the context's cached node tuple) serves them all.
+    """
+    scopes = ctx.cache.get("dataflow.scopes")
+    if scopes is None:
+        scopes = (ctx.tree,) + tuple(
+            node
+            for node in ctx.nodes()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        ctx.cache["dataflow.scopes"] = scopes
+    return scopes
+
+
+def cfg_for_scope(ctx, scope: ScopeNode) -> CFG:
+    """Memoized :func:`build_cfg` keyed on the FileContext's cache."""
+    cache = ctx.cache.setdefault("dataflow.cfg", {})
+    key = id(scope)
+    cfg = cache.get(key)
+    if cfg is None:
+        cfg = build_cfg(scope)
+        cache[key] = cfg
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Dominance
+# ---------------------------------------------------------------------------
+
+
+def dominators(cfg: CFG) -> dict[int, frozenset[int]]:
+    """Block id → ids of its dominators, over entry-reachable blocks.
+
+    Classic iterative dataflow: ``dom(entry) = {entry}``, ``dom(b) =
+    {b} ∪ ⋂ dom(p)`` over reachable predecessors.  Edges from
+    unreachable blocks (dead code after a ``return``) are ignored so
+    they cannot dilute the intersection.
+    """
+    order = cfg.rpo()
+    reach = {b.id for b in order}
+    all_ids = frozenset(reach)
+    dom: dict[int, frozenset[int]] = {
+        b.id: (frozenset([b.id]) if b is cfg.entry else all_ids)
+        for b in order
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is cfg.entry:
+                continue
+            preds = [p for p in block.preds if p.id in reach]
+            if preds:
+                new = frozenset.intersection(*(dom[p.id] for p in preds))
+            else:
+                new = frozenset()
+            new = new | {block.id}
+            if new != dom[block.id]:
+                dom[block.id] = new
+                changed = True
+    return dom

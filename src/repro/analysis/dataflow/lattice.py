@@ -1,0 +1,177 @@
+"""Generic forward dataflow solving plus the unit lattice.
+
+:func:`solve_forward` runs any :class:`ForwardAnalysis` to fixpoint over
+a :class:`~repro.analysis.dataflow.cfg.CFG`.  Environments are plain
+``dict[str, value]`` maps from variable names (dotted attribute paths
+included, e.g. ``self._planning``) to abstract values; an absent key is
+the lattice bottom.  Termination holds for any analysis whose
+``join_values`` is monotone over a finite-height lattice — the two
+shipped instances qualify (taint label sets are bounded by the labels
+occurring in one scope; the unit lattice has height 2).
+
+The unit lattice itself (:class:`Unit`, :func:`join_units`) lives here
+rather than in the unit rule so tests and future rules can reuse it:
+``UNKNOWN`` is bottom, the concrete units are pairwise incomparable, and
+joining two different concrete units falls back to ``UNKNOWN`` — a
+variable that holds bytes on one branch and milliseconds on the other
+is not *known* to be either, and the mixing itself is reported at the
+expression that merged them, not at the join point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generic, Iterator, Optional, TypeVar
+
+from repro.analysis.dataflow.cfg import CFG, Block
+
+V = TypeVar("V")
+Env = dict  # dict[str, V]
+
+
+class ForwardAnalysis(Generic[V]):
+    """One forward dataflow problem: transfer functions plus value join."""
+
+    def initial_env(self) -> Env:
+        return {}
+
+    def join_values(self, a: V, b: V) -> Optional[V]:
+        """Join two abstract values; returning None drops the key
+        (i.e. the join is bottom)."""
+        raise NotImplementedError
+
+    def transfer_stmt(self, stmt, env: Env) -> None:
+        """Apply one simple statement's effect to ``env`` in place."""
+        raise NotImplementedError
+
+    def transfer_terminator(self, stmt, env: Env) -> None:
+        """Apply a terminator's effect (loop targets, walrus in tests).
+        Default: nothing."""
+
+    # ------------------------------------------------------------- driving
+
+    def transfer_block(self, block: Block, env: Env) -> Env:
+        out = dict(env)
+        for stmt in block.stmts:
+            self.transfer_stmt(stmt, out)
+        if block.terminator is not None:
+            self.transfer_terminator(block.terminator, out)
+        return out
+
+    def join_envs(self, into: Env, other: Env) -> bool:
+        """Join ``other`` into ``into``; True when ``into`` changed."""
+        changed = False
+        for key, value in other.items():
+            if key not in into:
+                into[key] = value
+                changed = True
+                continue
+            joined = self.join_values(into[key], value)
+            if joined is None:
+                if key in into:
+                    del into[key]
+                    changed = True
+            elif joined != into[key]:
+                into[key] = joined
+                changed = True
+        return changed
+
+
+def solve_forward(
+    cfg: CFG, analysis: ForwardAnalysis, max_passes: int = 64
+) -> dict[int, Env]:
+    """Entry environment per reachable block id, at fixpoint.
+
+    ``max_passes`` is a defensive bound (a correct monotone analysis
+    converges in O(lattice height × blocks); 64 sweeps is far beyond
+    any real scope) so a buggy custom analysis degrades to imprecision
+    instead of hanging the linter.
+    """
+    order = cfg.rpo()
+    entry_env: dict[int, Env] = {b.id: {} for b in order}
+    entry_env[cfg.entry.id] = analysis.initial_env()
+    reach = {b.id for b in order}
+    for _ in range(max_passes):
+        changed = False
+        for block in order:
+            out = analysis.transfer_block(block, entry_env[block.id])
+            for succ, _label in block.succs:
+                if succ.id not in reach:
+                    continue
+                if analysis.join_envs(entry_env[succ.id], out):
+                    changed = True
+        if not changed:
+            break
+    return entry_env
+
+
+def walk_with_env(
+    cfg: CFG, analysis: ForwardAnalysis, entry_env: dict[int, Env]
+) -> Iterator[tuple[object, Env]]:
+    """Yield every (statement, in-env) pair of the solved CFG.
+
+    The env each statement sees is the fixpoint environment at that
+    program point — what check passes consume to evaluate expressions.
+    Terminators are yielded too (their tests are expressions).
+    """
+    for block in cfg.rpo():
+        env = dict(entry_env[block.id])
+        for stmt in block.stmts:
+            yield stmt, env
+            analysis.transfer_stmt(stmt, env)
+        if block.terminator is not None:
+            yield block.terminator, env
+            analysis.transfer_terminator(block.terminator, env)
+
+
+# ---------------------------------------------------------------------------
+# The unit lattice
+# ---------------------------------------------------------------------------
+
+
+class Unit(enum.Enum):
+    """Physical units a value can carry in this codebase."""
+
+    BYTES = "bytes"
+    KB = "KB"
+    MB = "MB"
+    GB = "GB"
+    SECONDS = "s"
+    MS = "ms"
+    COUNT = "count"
+
+    def __str__(self) -> str:  # pragma: no cover - messages only
+        return self.value
+
+
+#: units measuring memory capacity — any two distinct members mixed in
+#: additive arithmetic are off by powers of 1024
+MEMORY_UNITS = frozenset({Unit.BYTES, Unit.KB, Unit.MB, Unit.GB})
+#: units measuring duration — seconds vs milliseconds mix is off by 1e3
+TIME_UNITS = frozenset({Unit.SECONDS, Unit.MS})
+
+
+def join_units(a: Optional[Unit], b: Optional[Unit]) -> Optional[Unit]:
+    """Lattice join: equal units survive, anything else is unknown."""
+    if a is b:
+        return a
+    return None
+
+
+def units_conflict(a: Optional[Unit], b: Optional[Unit]) -> bool:
+    """Whether adding/comparing values of these units is a bug.
+
+    Two *different* capacity-or-duration units never belong on the two
+    sides of ``+``, ``-`` or a comparison: bytes vs MB is a 2**20 scale
+    error, seconds vs ms is 1e3, and bytes vs seconds is a category
+    error.  ``COUNT`` is exempt from additive conflicts — indices and
+    cardinalities mix with everything in real code (``offset + n``) and
+    flagging them would be noise, not protection.
+    """
+    if a is None or b is None or a is b:
+        return False
+    dimensional = MEMORY_UNITS | TIME_UNITS
+    return a in dimensional and b in dimensional
+
+
+Transfer = Callable[[object, Env], None]

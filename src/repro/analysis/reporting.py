@@ -1,9 +1,9 @@
-"""Text and JSON renderers for replint reports."""
+"""Text, JSON and SARIF renderers for replint reports."""
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Mapping, Optional
 
 from repro.analysis.baseline import BaselineEntry
 from repro.analysis.core import Finding, Rule
@@ -61,6 +61,83 @@ def render_json(
             ),
             "baselined": len(suppressed),
         },
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: SARIF "level" per replint severity (SARIF has no "off")
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rules: Optional[Mapping[str, type[Rule]]] = None,
+) -> str:
+    """SARIF 2.1.0, the format GitHub code scanning ingests.
+
+    Uploading this from CI turns every finding into an inline
+    annotation on the PR diff — baselined/suppressed findings are
+    deliberately omitted (they are accepted debt, not review signal).
+    """
+    findings = list(findings)
+    rules = dict(rules or {})
+    used_ids = sorted(
+        {f.rule for f in findings} | set(rules)
+    )
+    rule_objs = []
+    index_of: dict[str, int] = {}
+    for i, rule_id in enumerate(used_ids):
+        index_of[rule_id] = i
+        cls = rules.get(rule_id)
+        obj: dict = {"id": rule_id}
+        if cls is not None:
+            obj["shortDescription"] = {"text": cls.summary}
+            obj["defaultConfiguration"] = {
+                "level": _SARIF_LEVELS.get(cls.default_severity, "warning")
+            }
+        rule_objs.append(obj)
+    results = []
+    for f in findings:
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": index_of[f.rule],
+                "level": _SARIF_LEVELS.get(f.severity, "warning"),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col,
+                                "snippet": {"text": f.code},
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "rules": rule_objs,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2)
 

@@ -16,20 +16,26 @@ same way::
             ...
 """
 
+from repro.analysis.rules.determinism import DeterminismTaintRule
 from repro.analysis.rules.eventbus import EventBusProtocolRule
+from repro.analysis.rules.guarddominance import GuardDominanceRule
+from repro.analysis.rules.invalidation import InvalidationReachabilityRule
 from repro.analysis.rules.lifecycle import LifecycleProtocolRule
 from repro.analysis.rules.modes import ModeBranchingRule
 from repro.analysis.rules.planmembership import PlanMembershipRule
 from repro.analysis.rules.rng import RngDisciplineRule
-from repro.analysis.rules.units import ByteUnitsRule
+from repro.analysis.rules.units import UnitFlowRule
 from repro.analysis.rules.wallclock import WallClockRule
 
 __all__ = [
-    "ByteUnitsRule",
+    "DeterminismTaintRule",
     "EventBusProtocolRule",
+    "GuardDominanceRule",
+    "InvalidationReachabilityRule",
     "LifecycleProtocolRule",
     "ModeBranchingRule",
     "PlanMembershipRule",
     "RngDisciplineRule",
+    "UnitFlowRule",
     "WallClockRule",
 ]

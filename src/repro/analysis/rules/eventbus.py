@@ -17,11 +17,11 @@ contract from docs/architecture.md ("Event bus"):
 * **callable observers** — a class exposing the ``attach(bus)``
   convention (its body calls ``.subscribe``) must define ``__call__``;
   the bus invokes subscribers directly.
-* **guarded hot-path emits** — emits of the opt-in per-tensor event
-  types listed in ``guarded-events`` (default: ``TensorAlloc``,
-  ``SwapIn``, ``ReplayHit``) must sit inside an ``if ...wants(T)``
-  guard so that a subscriber-free run pays one dict lookup, not an
-  object construction, per event.
+
+The third half of the historical contract — hot-path emits guarded by
+``bus.wants(T)`` — moved to the dataflow tier as the ``guard-dominance``
+rule (:mod:`repro.analysis.rules.guarddominance`), which checks CFG
+dominance instead of lexical ancestry.
 """
 
 from __future__ import annotations
@@ -32,7 +32,6 @@ from typing import Iterable
 from repro.analysis.core import (
     FileContext,
     Finding,
-    ParentMap,
     Rule,
     dotted_name,
     register_rule,
@@ -59,31 +58,20 @@ def _dataclass_decorator(cls: ast.ClassDef):
 class EventBusProtocolRule(Rule):
     id = "event-bus-protocol"
     summary = (
-        "published events must be frozen slotted dataclasses, observers "
-        "callable, and hot-path emits guarded by bus.wants()"
+        "published events must be frozen slotted dataclasses and "
+        "observers callable"
     )
 
     def __init__(self) -> None:
         super().__init__()
-        self.guarded_events: tuple[str, ...] = (
-            "TensorAlloc",
-            "SwapIn",
-            "ReplayHit",
-        )
         #: names seen constructed inside ``.emit(...)`` or passed as type
         #: filters to ``.subscribe``/``.wants`` anywhere in the project
         self._event_names: set[str] = set()
 
-    def configure(self, options) -> None:
-        super().configure(options)
-        guarded = options.get("guarded-events")
-        if guarded is not None:
-            self.guarded_events = tuple(str(g) for g in guarded)
-
     # ------------------------------------------------------------- pass 1
 
     def collect(self, ctx: FileContext) -> None:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.Call):
                 continue
             attr = _call_attr(node)
@@ -108,10 +96,9 @@ class EventBusProtocolRule(Rule):
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         yield from self._check_event_classes(ctx)
         yield from self._check_observers(ctx)
-        yield from self._check_guarded_emits(ctx)
 
     def _check_event_classes(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.ClassDef):
                 continue
             if node.name not in self._event_names:
@@ -144,7 +131,7 @@ class EventBusProtocolRule(Rule):
                     )
 
     def _check_observers(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.ClassDef):
                 continue
             methods = {
@@ -167,47 +154,3 @@ class EventBusProtocolRule(Rule):
                     "directly",
                 )
 
-    def _check_guarded_emits(self, ctx: FileContext) -> Iterable[Finding]:
-        guarded = set(self.guarded_events)
-        if not guarded:
-            return
-        parents = None
-        for node in ast.walk(ctx.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and _call_attr(node) == "emit"
-                and node.args
-                and isinstance(node.args[0], ast.Call)
-            ):
-                continue
-            name = dotted_name(node.args[0].func)
-            if name is None or name.split(".")[-1] not in guarded:
-                continue
-            event = name.split(".")[-1]
-            if parents is None:
-                parents = ParentMap.build(ctx.tree)
-            if not self._wants_guard(node, event, parents):
-                yield self.finding(
-                    ctx, node,
-                    f"hot-path event {event} emitted without a "
-                    f"bus.wants({event}) guard; construct opt-in events "
-                    "only when someone is listening",
-                )
-
-    @staticmethod
-    def _wants_guard(
-        node: ast.Call, event: str, parents: ParentMap
-    ) -> bool:
-        for ancestor in parents.ancestors(node):
-            if not isinstance(ancestor, ast.If):
-                continue
-            for sub in ast.walk(ancestor.test):
-                if (
-                    isinstance(sub, ast.Call)
-                    and _call_attr(sub) == "wants"
-                    and sub.args
-                ):
-                    arg = dotted_name(sub.args[0])
-                    if arg is not None and arg.split(".")[-1] == event:
-                        return True
-        return False

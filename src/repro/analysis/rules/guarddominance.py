@@ -1,0 +1,180 @@
+"""``guard-dominance`` — ``bus.wants(T)`` must *dominate* hot-path emits.
+
+The digest-parity suite asserts that attaching observers changes
+nothing, which requires that the opt-in per-tensor events listed in
+``guarded-events`` are never even constructed when nobody subscribed
+(``EventBus.wants``) — otherwise observer presence shifts the
+allocation profile of a run.  v1 of this check (inside the event-bus
+rule) was lexical: it accepted any ``emit`` with an ``if …wants(T)``
+*ancestor*, which a refactor defeats trivially::
+
+    checked = bus.wants(TensorAlloc)
+    if tensor.large or checked:      # looks guarded, is not
+        bus.emit(TensorAlloc(...))
+
+v2 asks the control-flow graph instead: some dominator of the emit's
+basic block must branch on a test that *implies* ``wants(T)`` along the
+edge leading to the emit.  Because branch arms are fresh blocks with a
+single predecessor, "the true-successor dominates the emit" is exactly
+"every path from the entry to the emit takes the true edge" — edge
+domination, with no path enumeration.  Polarity is handled through the
+test's boolean structure: ``if bus.wants(T):`` guards its true edge,
+``if not bus.wants(T): return`` guards its false edge, and ``and``/
+``or`` conjuncts guard whichever edges logically pin them
+(``wants(T) and x`` guards true; ``not wants(T) or y`` guards false).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Mapping
+
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, register_rule
+from repro.analysis.dataflow.cfg import (
+    cfg_for_scope,
+    dominators,
+    scopes_for,
+    shallow_walk,
+)
+
+
+def _call_attr(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _is_wants(node: ast.AST, event: str) -> bool:
+    if not (
+        isinstance(node, ast.Call)
+        and _call_attr(node) == "wants"
+        and node.args
+    ):
+        return False
+    arg = dotted_name(node.args[0])
+    return arg is not None and arg.split(".")[-1] == event
+
+
+def guards_true(test: ast.expr, event: str) -> bool:
+    """Does the *true* edge of this test guarantee ``wants(event)``?"""
+    if _is_wants(test, event):
+        return True
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return guards_false(test.operand, event)
+    if isinstance(test, ast.BoolOp):
+        if isinstance(test.op, ast.And):
+            # true edge: every conjunct held, so any guarding one suffices
+            return any(guards_true(v, event) for v in test.values)
+        # true edge of `or`: only some disjunct held — all must guard
+        return all(guards_true(v, event) for v in test.values)
+    return False
+
+
+def guards_false(test: ast.expr, event: str) -> bool:
+    """Does the *false* edge of this test guarantee ``wants(event)``?"""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return guards_true(test.operand, event)
+    if isinstance(test, ast.BoolOp):
+        if isinstance(test.op, ast.Or):
+            # false edge: every disjunct failed, so any guarding one suffices
+            return any(guards_false(v, event) for v in test.values)
+        # false edge of `and`: only some conjunct failed — all must guard
+        return all(guards_false(v, event) for v in test.values)
+    return False
+
+
+@register_rule
+class GuardDominanceRule(Rule):
+    id = "guard-dominance"
+    summary = (
+        "hot-path event emits must be dominated by a bus.wants(T) branch "
+        "on the CFG, not merely sit near one lexically"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.guarded_events: tuple[str, ...] = (
+            "TensorAlloc",
+            "SwapIn",
+            "ReplayHit",
+            "CompiledHit",
+        )
+
+    def configure(self, options: Mapping[str, object]) -> None:
+        super().configure(options)
+        guarded = options.get("guarded-events")
+        if guarded is not None:
+            self.guarded_events = tuple(str(g) for g in guarded)
+
+    # -------------------------------------------------------------- check
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        guarded = set(self.guarded_events)
+        if not guarded:
+            return
+        # files with no `.emit(...)` at all skip every per-scope walk
+        if not any(
+            isinstance(n, ast.Call) and _call_attr(n) == "emit"
+            for n in ctx.nodes()
+        ):
+            return
+        for scope in scopes_for(ctx):
+            emits = self._guarded_emits(scope, guarded)
+            if not emits:
+                continue
+            cfg = cfg_for_scope(ctx, scope)
+            dom = dominators(cfg)
+            blocks = {b.id: b for b in cfg.reachable()}
+            for call, event in emits:
+                block = cfg.block_of(call)
+                if block is None:
+                    continue  # dead code — nothing ever pays for it
+                if not self._dominated(block, event, dom, blocks):
+                    yield self.finding(
+                        ctx, call,
+                        f"hot-path event {event} emitted without a "
+                        f"dominating bus.wants({event}) guard; every path "
+                        "to this emit must first check that someone is "
+                        "listening",
+                    )
+
+    def _guarded_emits(self, scope, guarded: set[str]):
+        out = []
+        body = scope.body if hasattr(scope, "body") else []
+        for stmt in body:
+            for node in shallow_walk(stmt):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _call_attr(node) == "emit"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                ):
+                    continue
+                name = dotted_name(node.args[0].func)
+                if name is None:
+                    continue
+                event = name.split(".")[-1]
+                if event in guarded:
+                    out.append((node, event))
+        return out
+
+    @staticmethod
+    def _dominated(block, event: str, dom, blocks) -> bool:
+        my_doms = dom.get(block.id, frozenset())
+        for dom_id in my_doms:
+            guard = blocks.get(dom_id)
+            if guard is None or guard.terminator is None:
+                continue
+            term = guard.terminator
+            if isinstance(term, (ast.If, ast.While, ast.Assert)):
+                test = term.test
+            else:
+                continue
+            for succ, label in guard.succs:
+                if succ.id not in my_doms:
+                    continue
+                if label == "true" and guards_true(test, event):
+                    return True
+                if label == "false" and guards_false(test, event):
+                    return True
+        return False

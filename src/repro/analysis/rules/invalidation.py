@@ -1,0 +1,123 @@
+"""``invalidation-reachability`` — every refit path reaches the flush.
+
+The lifecycle protocol (:mod:`repro.core.lifecycle`) is: whenever an
+estimator is (re)fitted, the plan cache and the replay/compiled tiers
+must be flushed *on the same path*, because every cached plan, replay
+record and compiled template was priced off the old fit.  The syntactic
+``lifecycle-protocol`` rule pins *where* fits may happen; this rule
+checks the protocol itself: from any function that performs an
+estimator fit, some call path must reach an invalidation site — a
+``.clear()``/``.flush()``/``.invalidate()`` on a cache-like receiver,
+or a call to a function whose name says invalidate/flush.  A refit
+helper that forgets the flush (the exact mutation the test suite
+injects into a copy of ``lifecycle.py``) is flagged at the fit call.
+
+Reachability runs over the project-wide call graph from the collect
+pass, so the fit and the flush may live in different functions or
+files; unresolvable (dynamic) calls contribute no edges, and the rule
+only ever *misses* flushes it cannot see — the failure mode is a
+false positive asking for an explicit flush, never a silent pass on a
+missing one.
+
+Offline analysis code that fits throwaway estimators and never serves
+plans (the Table IV/V generators) is exempted via ``allow`` globs, the
+same entries the syntactic rule uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, register_rule
+from repro.analysis.dataflow.callgraph import CallGraph
+
+#: estimator methods that (re)build the fitted state — shared vocabulary
+#: with the syntactic lifecycle-protocol rule
+_FIT_METHODS = {"fit", "fit_base"}
+#: method names that flush cached, fit-priced state
+_FLUSH_METHODS = {"clear", "flush", "invalidate", "evict_all", "reset"}
+#: receiver-name fragments identifying fit-priced caches
+_CACHE_RECEIVERS = ("cache", "replay", "compiled", "template")
+#: bare/attribute callee-name fragments that *are* the invalidation
+_FLUSH_NAME_FRAGMENTS = ("invalidate", "flush")
+
+
+def _is_fit_call(node: ast.Call) -> bool:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    root, _, fn = dotted.rpartition(".")
+    if not root:
+        return False
+    receiver = root.split(".")[-1].lower()
+    return fn in _FIT_METHODS and receiver.endswith("estimator")
+
+
+def _is_flush_call(node: ast.Call) -> bool:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    root, _, fn = dotted.rpartition(".")
+    if any(frag in fn.lower() for frag in _FLUSH_NAME_FRAGMENTS):
+        return True
+    if root and fn in _FLUSH_METHODS:
+        receiver = root.split(".")[-1].lower()
+        return any(frag in receiver for frag in _CACHE_RECEIVERS)
+    return False
+
+
+@register_rule
+class InvalidationReachabilityRule(Rule):
+    id = "invalidation-reachability"
+    summary = (
+        "every call path performing an estimator refit must reach a "
+        "plan-cache/replay/compiled flush (the lifecycle protocol)"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.graph = CallGraph()
+        self._flush_cache: Optional[set[str]] = None
+
+    # ------------------------------------------------------------- pass 1
+
+    def collect(self, ctx: FileContext) -> None:
+        self.graph.add_file(ctx)
+        self._flush_cache = None
+
+    # ------------------------------------------------------------- pass 2
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        flush_functions = self._flush_functions()
+        for info in self.graph.functions.values():
+            if info.relpath != ctx.relpath:
+                continue
+            fits = [sub for sub in info.calls if _is_fit_call(sub)]
+            if not fits:
+                continue
+            reachable = self.graph.reachable_from([info.qualname])
+            if reachable & flush_functions:
+                continue
+            for call in fits:
+                yield self.finding(
+                    ctx, call,
+                    f"estimator refit in `{info.qualname.split(':')[-1]}` "
+                    "reaches no plan-cache/replay/compiled flush on any "
+                    "call path; the lifecycle protocol requires every fit "
+                    "to invalidate state priced off the previous fit "
+                    "(see core/lifecycle.py)",
+                )
+
+    def _flush_functions(self) -> set[str]:
+        """Qualnames of functions that *directly* contain a flush call."""
+        if self._flush_cache is not None:
+            return self._flush_cache
+        out: set[str] = set()
+        for info in self.graph.functions.values():
+            for sub in info.calls:
+                if _is_flush_call(sub):
+                    out.add(info.qualname)
+                    break
+        self._flush_cache = out
+        return out

@@ -42,7 +42,7 @@ class LifecycleProtocolRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.Call):
                 continue
             dotted = dotted_name(node.func)

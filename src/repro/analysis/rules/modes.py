@@ -73,7 +73,7 @@ class ModeBranchingRule(Rule):
             self.mode_strings = tuple(str(s) for s in strings)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if isinstance(node, ast.Compare):
                 sides = [node.left, *node.comparators]
                 if any(_references_execution_mode(s) for s in sides):

@@ -48,7 +48,7 @@ class PlanMembershipRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.Compare):
                 continue
             for op, comparator in zip(node.ops, node.comparators):

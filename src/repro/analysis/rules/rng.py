@@ -45,7 +45,7 @@ class RngDisciplineRule(Rule):
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         numpy_aliases = {"numpy"}
         random_aliases: set[str] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "numpy":
@@ -77,7 +77,7 @@ class RngDisciplineRule(Rule):
                             )
 
         legacy_roots = {f"{a}.random" for a in numpy_aliases}
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.Call):
                 continue
             dotted = dotted_name(node.func)

@@ -1,22 +1,34 @@
-"""RPL005 ``byte-units`` — no arithmetic that mixes bytes with MB/GB names.
+"""``unit-flow`` — inferred physical units must not mix through dataflow.
 
 Every capacity in the simulator is an integer byte count (allocator
-blocks, budgets, ``predicted_peak_bytes``); the human-facing layers
-(CLI ``--budget-gb``, figures, tables) carry GB floats.  The two meet
-at explicit conversion sites (``int(budget_gb * GB)``,
-``peak / 1024**3``), and history says the meeting is where the bugs
-live — an un-converted ``budget_gb`` compared against a byte count is
-off by 2**30 and *still runs*, producing plans that look plausible at
-small scales (Checkmate's artifact shipped exactly this class of bug in
-its budget plumbing).
+blocks, budgets, ``predicted_peak_bytes``); durations are simulated
+seconds with millisecond figures at the reporting edges; the
+human-facing layers carry GB floats.  The places they meet are explicit
+conversion sites (``int(budget_gb * GB)``, ``peak / 1024**3``,
+``1e3 * step_time``) — and history says the meeting is where the bugs
+live: an un-converted ``budget_gb`` compared against a byte count is
+off by 2**30 and *still runs* (Checkmate's artifact shipped exactly
+this class of bug in its budget plumbing).
 
-The rule infers a unit from identifier suffixes (``*_bytes``/``nbytes``
-→ bytes, ``*_kb``/``*_mb``/``*_gb`` → that unit) and flags ``+``/``-``
-arithmetic and comparisons whose operands disagree, unless a recognized
-conversion appears in the operand (multiplying or dividing by ``GB``,
-``MB``, ``KB``, ``_MB`` & co. or a power-of-1024 literal neutralizes
-the unit).  Products like ``2 * budget_bytes`` keep their unit;
-``bytes / GB`` is a conversion, not a mix.
+v1 of this rule (``byte-units``) inferred units from identifier
+suffixes at the expression itself, so one temporary assignment
+laundered the unit away::
+
+    window = step_ms            # window: no suffix -> v1 forgets "ms"
+    total = window + alloc_bytes  # v1 silent; this rule: ms + bytes
+
+v2 seeds the same suffix vocabulary (``*_bytes``/``nbytes`` → bytes,
+``*_kb``/``*_mb``/``*_gb`` → that unit, ``*_ms`` → ms, ``*_time``/
+``*_seconds``/``*_secs``/``*_sec`` → seconds, ``num_*``/``*_count`` →
+count) into a per-variable environment — function parameters included —
+and propagates it through assignments, tuple unpacking, augmented
+assigns and attribute stores on the CFG, so the unit survives any chain
+of temporaries.  Multiplying or dividing by a recognized conversion
+factor (``GB``/``MB``/``KB`` names, powers of 1024, ``1e3``/``1e6``/
+``1e9`` and their inverses) still neutralizes the unit: ``bytes / GB``
+is a conversion, not a mix.  Conflicts are additive arithmetic or
+comparisons whose sides carry two *different* capacity-or-duration
+units; counts never conflict (indices mix with everything).
 """
 
 from __future__ import annotations
@@ -24,14 +36,32 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
-from repro.analysis.core import FileContext, Finding, Rule, register_rule
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, register_rule
+from repro.analysis.dataflow.cfg import cfg_for_scope, own_exprs, scopes_for, shallow_walk
+from repro.analysis.dataflow.lattice import (
+    Env,
+    ForwardAnalysis,
+    Unit,
+    join_units,
+    solve_forward,
+    units_conflict,
+    walk_with_env,
+)
 
-_SUFFIXES = (
-    ("_bytes", "bytes"),
-    ("nbytes", "bytes"),
-    ("_kb", "KB"),
-    ("_mb", "MB"),
-    ("_gb", "GB"),
+#: identifier suffix → seeded unit, checked in order (first match wins)
+_SUFFIXES: tuple[tuple[str, Unit], ...] = (
+    ("_bytes", Unit.BYTES),
+    ("nbytes", Unit.BYTES),
+    ("_kb", Unit.KB),
+    ("_mb", Unit.MB),
+    ("_gb", Unit.GB),
+    ("_ms", Unit.MS),
+    ("_millis", Unit.MS),
+    ("_seconds", Unit.SECONDS),
+    ("_secs", Unit.SECONDS),
+    ("_sec", Unit.SECONDS),
+    ("_time", Unit.SECONDS),
+    ("_count", Unit.COUNT),
 )
 
 #: conversion-factor values: multiplying/dividing by one of these is an
@@ -42,51 +72,65 @@ _FACTOR_VALUES = {
     1024**3,
     1 << 20,
     1 << 30,
+    10**3,
     10**6,
     10**9,
+    1e3,
     1e6,
     1e9,
+    1e-3,
+    1e-6,
+    1e-9,
+    0.001,
 }
 
 _PASSTHROUGH_CALLS = {"int", "float", "abs", "round"}
+_JOINING_CALLS = {"min", "max", "sum"}
 
 
-@register_rule
-class ByteUnitsRule(Rule):
-    id = "byte-units"
-    summary = (
-        "additive arithmetic/comparisons must not mix *_bytes values with "
-        "*_mb/*_gb values without an explicit conversion"
-    )
+def suffix_unit(ident: str) -> Optional[Unit]:
+    """The unit an identifier's spelling promises, if any."""
+    lowered = ident.lower()
+    if lowered.startswith("num_") or lowered.startswith("n_"):
+        return Unit.COUNT
+    for suffix, unit in _SUFFIXES:
+        if lowered == suffix.lstrip("_") or lowered.endswith(suffix):
+            return unit
+    return None
 
-    def __init__(self) -> None:
-        super().__init__()
-        #: names that are conversion constants (an operand scaled by one
-        #: of these is considered explicitly converted)
-        self.conversion_names: tuple[str, ...] = (
-            "KB", "MB", "GB", "KIB", "MIB", "GIB", "_KB", "_MB", "_GB",
-        )
 
-    def configure(self, options) -> None:
-        super().configure(options)
-        names = options.get("conversion-names")
-        if names is not None:
-            self.conversion_names = tuple(str(n) for n in names)
+class UnitAnalysis(ForwardAnalysis):
+    """Forward unit propagation: env maps variable names to units.
 
-    # -------------------------------------------------------------- infer
+    The *environment* wins over the suffix for names it knows — that is
+    the laundering detection: once ``window = step_ms`` runs, ``window``
+    carries ms no matter how it is spelled.  Unknown names fall back to
+    suffix inference, which keeps v1's behaviour as the base case.
+    """
+
+    def __init__(
+        self,
+        conversion_names: tuple[str, ...],
+        init_env: Optional[Env] = None,
+    ) -> None:
+        self.conversion_names = conversion_names
+        self._init_env: Env = dict(init_env or {})
+
+    def initial_env(self) -> Env:
+        return dict(self._init_env)
+
+    # -------------------------------------------------------------- lattice
+
+    def join_values(self, a: Unit, b: Unit) -> Optional[Unit]:
+        return join_units(a, b)
+
+    # ----------------------------------------------------------- inference
 
     def _identifier(self, node: ast.AST) -> Optional[str]:
         if isinstance(node, ast.Name):
             return node.id
         if isinstance(node, ast.Attribute):
             return node.attr
-        return None
-
-    def _suffix_unit(self, ident: str) -> Optional[str]:
-        lowered = ident.lower()
-        for suffix, unit in _SUFFIXES:
-            if lowered == suffix.lstrip("_") or lowered.endswith(suffix):
-                return unit
         return None
 
     def _is_factor(self, node: ast.AST) -> bool:
@@ -106,71 +150,232 @@ class ByteUnitsRule(Rule):
             return True
         return False
 
-    def _unit_of(self, node: ast.AST) -> Optional[str]:
-        """Best-effort unit of an expression, or None when unknown."""
-        ident = self._identifier(node)
-        if ident is not None:
+    def unit_of(self, node: ast.AST, env: Env) -> Optional[Unit]:
+        """Best-effort unit of an expression under ``env``."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(node)
+            if dotted is not None and dotted in env:
+                return env[dotted]
+            ident = self._identifier(node)
+            if ident is None:
+                return None
             if ident in self.conversion_names:
-                return "bytes"  # GB/MB/... constants *are* byte counts
-            return self._suffix_unit(ident)
+                return Unit.BYTES  # GB/MB/... constants *are* byte counts
+            return suffix_unit(ident)
         if isinstance(node, ast.Call):
             fn = self._identifier(node.func)
             if fn in _PASSTHROUGH_CALLS and len(node.args) == 1:
-                return self._unit_of(node.args[0])
-            if fn in ("min", "max", "sum") and node.args:
-                units = {self._unit_of(a) for a in node.args}
+                return self.unit_of(node.args[0], env)
+            if fn in _JOINING_CALLS and node.args:
+                units = {self.unit_of(a, env) for a in node.args}
                 units.discard(None)
                 return units.pop() if len(units) == 1 else None
-            return None
+            if fn == "len":
+                return Unit.COUNT
+            # a function's name promises its return unit the same way a
+            # variable's does (transfer_time -> seconds)
+            return suffix_unit(fn) if fn else None
         if isinstance(node, ast.BinOp):
             if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
-                # an explicit conversion factor neutralizes the unit
                 if self._is_factor(node.left) or self._is_factor(node.right):
-                    return None
-                left = self._unit_of(node.left)
-                right = self._unit_of(node.right)
+                    return None  # explicit conversion neutralizes the unit
+                left = self.unit_of(node.left, env)
+                right = self.unit_of(node.right, env)
+                # counts are dimensionless multipliers: n * elem_bytes
+                # is still bytes; bytes / n is still bytes
+                if left is Unit.COUNT:
+                    return right if isinstance(node.op, ast.Mult) else None
+                if right is Unit.COUNT:
+                    return left
                 if left and right:
                     return None  # bytes*bytes etc.: not a capacity anymore
                 return left or right
             if isinstance(node.op, (ast.Add, ast.Sub)):
-                left = self._unit_of(node.left)
-                right = self._unit_of(node.right)
-                if left == right:
+                left = self.unit_of(node.left, env)
+                right = self.unit_of(node.right, env)
+                if left is right:
                     return left
                 return None
+            return None
         if isinstance(node, ast.UnaryOp):
-            return self._unit_of(node.operand)
+            return self.unit_of(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            return join_units(
+                self.unit_of(node.body, env), self.unit_of(node.orelse, env)
+            )
+        if isinstance(node, ast.NamedExpr):
+            unit = self.unit_of(node.value, env)
+            if isinstance(node.target, ast.Name):
+                self._set(node.target.id, unit, env)
+            return unit
+        if isinstance(node, ast.Starred):
+            return self.unit_of(node.value, env)
         return None
+
+    # ------------------------------------------------------------ transfer
+
+    def _set(self, key: str, unit: Optional[Unit], env: Env) -> None:
+        if unit is None:
+            env.pop(key, None)
+        else:
+            env[key] = unit
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value: Optional[ast.expr],
+        unit: Optional[Unit],
+        env: Env,
+    ) -> None:
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(target)
+            if dotted is not None:
+                self._set(dotted, unit, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = None
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                elts = value.elts
+            for i, sub in enumerate(target.elts):
+                sub_unit = self.unit_of(elts[i], env) if elts else None
+                if isinstance(sub, ast.Starred):
+                    sub = sub.value
+                self._assign(sub, None, sub_unit, env)
+
+    def transfer_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.unit_of(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, unit, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(
+                stmt.target, stmt.value, self.unit_of(stmt.value, env), env
+            )
+        elif isinstance(stmt, ast.AugAssign):
+            # += keeps the stronger of the two operands' units
+            unit = join_units(
+                self.unit_of(stmt.target, env), self.unit_of(stmt.value, env)
+            ) or self.unit_of(stmt.target, env) or self.unit_of(stmt.value, env)
+            self._assign(stmt.target, None, unit, env)
+
+    def transfer_terminator(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # iterating a collection of X-unit values is not itself
+            # unit-bearing knowledge; clear stale bindings of the target
+            self._assign(stmt.target, None, None, env)
+
+    def seed_params(self, scope: ast.AST, env: Env) -> None:
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        a = scope.args
+        for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+            unit = suffix_unit(arg.arg)
+            if unit is not None:
+                env[arg.arg] = unit
+
+
+@register_rule
+class UnitFlowRule(Rule):
+    id = "unit-flow"
+    summary = (
+        "dataflow-inferred units (bytes/KB/MB/GB/s/ms) must not mix in "
+        "additive arithmetic or comparisons, even through temporaries"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: names that are conversion constants (an operand scaled by one
+        #: of these is considered explicitly converted)
+        self.conversion_names: tuple[str, ...] = (
+            "KB", "MB", "GB", "KIB", "MIB", "GIB", "_KB", "_MB", "_GB",
+        )
+
+    def configure(self, options) -> None:
+        super().configure(options)
+        names = options.get("conversion-names")
+        if names is not None:
+            self.conversion_names = tuple(str(n) for n in names)
 
     # -------------------------------------------------------------- check
 
-    def _mixed(self, units: list[Optional[str]]) -> bool:
-        known = {u for u in units if u is not None}
-        return "bytes" in known and len(known) > 1
-
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                units = [self._unit_of(node.left), self._unit_of(node.right)]
-                if self._mixed(units):
-                    yield self.finding(
-                        ctx, node,
-                        f"arithmetic mixes {units[0]} and {units[1]} "
-                        "operands without an explicit conversion "
-                        "(multiply/divide by GB/MB/KB first)",
-                    )
-            elif isinstance(node, ast.Compare) and all(
-                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
-                for op in node.ops
-            ):
-                sides = [node.left, *node.comparators]
-                units = [self._unit_of(s) for s in sides]
-                if self._mixed(units):
-                    known = sorted(u for u in units if u is not None)
-                    yield self.finding(
-                        ctx, node,
-                        f"comparison mixes units {known} without an "
-                        "explicit conversion; convert both sides to bytes",
-                    )
+        if len(self._possible_units(ctx)) < 2:
+            return
+        for scope in scopes_for(ctx):
+            yield from self._check_scope(ctx, scope)
+
+    def _possible_units(self, ctx: FileContext) -> set[Unit]:
+        """Every dimensional unit any identifier in the file could seed.
+
+        Units are only ever *born* from identifier spellings (suffixes,
+        conversion-constant names); a conflict needs two different
+        dimensional units, so files whose vocabulary cannot produce two
+        are skipped before any CFG or fixpoint work.
+        """
+        units: set[Unit] = set()
+        for node in ctx.nodes():
+            if isinstance(node, ast.Name):
+                ident = node.id
+            elif isinstance(node, ast.Attribute):
+                ident = node.attr
+            elif isinstance(node, ast.arg):
+                ident = node.arg
+            else:
+                continue
+            if ident in self.conversion_names:
+                units.add(Unit.BYTES)
+                continue
+            unit = suffix_unit(ident)
+            if unit is not None and unit is not Unit.COUNT:
+                units.add(unit)
+                if len(units) > 1:
+                    break
+        return units
+
+    def _check_scope(self, ctx, scope):
+        cfg = cfg_for_scope(ctx, scope)
+        init: Env = {}
+        probe = UnitAnalysis(self.conversion_names)
+        probe.seed_params(scope, init)
+        analysis = UnitAnalysis(self.conversion_names, init_env=init)
+        envs = solve_forward(cfg, analysis)
+        seen: set[int] = set()
+        for stmt, env in walk_with_env(cfg, analysis, envs):
+            for expr in own_exprs(stmt):
+                for node in shallow_walk(expr):
+                    if id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                    yield from self._check_expr(ctx, node, env, analysis)
+
+    def _check_expr(self, ctx, node, env: Env, analysis: UnitAnalysis):
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = analysis.unit_of(node.left, env)
+            right = analysis.unit_of(node.right, env)
+            if units_conflict(left, right):
+                yield self.finding(
+                    ctx, node,
+                    f"arithmetic mixes {left} and {right} operands "
+                    "without an explicit conversion (multiply/divide by "
+                    "GB/MB/KB or 1e3 first)",
+                )
+        elif isinstance(node, ast.Compare) and all(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+            for op in node.ops
+        ):
+            sides = [node.left, *node.comparators]
+            units = [analysis.unit_of(s, env) for s in sides]
+            for a in units:
+                for b in units:
+                    if units_conflict(a, b):
+                        known = sorted(str(u) for u in units if u is not None)
+                        yield self.finding(
+                            ctx, node,
+                            f"comparison mixes units {known} without an "
+                            "explicit conversion; convert both sides to "
+                            "one unit first",
+                        )
+                        return

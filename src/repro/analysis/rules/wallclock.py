@@ -53,7 +53,7 @@ class WallClockRule(Rule):
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         time_aliases = {"time"}
         from_imports: set[str] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "time":
@@ -63,7 +63,7 @@ class WallClockRule(Rule):
                     if alias.name in _TIME_FNS:
                         from_imports.add(alias.asname or alias.name)
 
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes():
             if not isinstance(node, ast.Call):
                 continue
             dotted = dotted_name(node.func)

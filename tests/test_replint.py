@@ -202,13 +202,15 @@ def test_eventbus_rule_requires_callable_observers():
     assert analyze_sources({"m.py": good}) == []
 
 
-def test_eventbus_rule_requires_wants_guard_on_hot_events():
+def test_guard_dominance_requires_wants_guard_on_hot_events():
+    """The v1 lexical guard check moved to the dataflow ``guard-dominance``
+    rule; the simple guarded/unguarded shapes still behave identically."""
     bad = (
         "def alloc(bus, t):\n"
         "    bus.emit(TensorAlloc(0, t.nbytes, t.name, 0.0))\n"
     )
     findings = analyze_sources({"m.py": bad})
-    assert "event-bus-protocol" in rule_ids(findings)
+    assert "guard-dominance" in rule_ids(findings)
     good = (
         "def alloc(bus, t):\n"
         "    if bus.wants(TensorAlloc):\n"
@@ -318,7 +320,7 @@ def test_lifecycle_rule_respects_allow_globs():
 
 
 # ---------------------------------------------------------------------------
-# byte-units
+# unit-flow (formerly byte-units)
 # ---------------------------------------------------------------------------
 
 
@@ -327,12 +329,12 @@ def test_units_rule_flags_mixed_comparison_and_arithmetic():
         "def fits(budget_gb, peak_bytes):\n"
         "    return peak_bytes < budget_gb\n"
     )
-    assert rule_ids(analyze_sources({"m.py": bad_cmp})) == {"byte-units"}
+    assert rule_ids(analyze_sources({"m.py": bad_cmp})) == {"unit-flow"}
     bad_sum = (
         "def headroom(budget_bytes, reserve_gb):\n"
         "    return budget_bytes - reserve_gb\n"
     )
-    assert rule_ids(analyze_sources({"m.py": bad_sum})) == {"byte-units"}
+    assert rule_ids(analyze_sources({"m.py": bad_sum})) == {"unit-flow"}
 
 
 def test_units_rule_allows_explicit_conversions():
@@ -437,6 +439,25 @@ def test_minimal_toml_parser_matches_tomllib_on_repo_config():
     expected = tomllib.loads(text).get("tool", {}).get("replint", {})
     actual = _parse_minimal_toml(text).get("tool", {}).get("replint", {})
     assert actual == expected
+
+
+def test_minimal_toml_parser_multiline_arrays():
+    text = (
+        "[tool.replint.rules.guard-dominance]\n"
+        "guarded-events = [\n"
+        "    # hot-path per-tensor events\n"
+        '    "TensorAlloc",\n'
+        '    "SwapIn",\n'
+        "\n"
+        '    "ReplayHit",\n'
+        "]\n"
+        "severity = \"error\"\n"
+    )
+    table = _parse_minimal_toml(text)["tool"]["replint"]["rules"][
+        "guard-dominance"
+    ]
+    assert table["guarded-events"] == ["TensorAlloc", "SwapIn", "ReplayHit"]
+    assert table["severity"] == "error"
 
 
 # ---------------------------------------------------------------------------
