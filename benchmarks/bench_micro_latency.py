@@ -11,11 +11,11 @@ import numpy as np
 from repro.core.collector import ShuttlingCollector
 from repro.core.estimator import LightningMemoryEstimator
 from repro.core.plan_cache import PlanCache
-from repro.core.scheduler import (
+from repro.solvers import (
     GreedyScheduler,
     HybridGreedyScheduler,
     PcieCostModel,
-    SchedulerInput,
+    SolverInput,
 )
 from repro.engine.stats import UnitMeasurement
 from repro.planners.base import CheckpointPlan
@@ -58,7 +58,7 @@ def bench_scheduler_greedy(benchmark):
     """Algorithm 1 over 12 units: well under a millisecond."""
     est = {f"enc.{i}": (100 + 3 * i) * MB for i in range(12)}
     order = {u: i for i, u in enumerate(est)}
-    inp = SchedulerInput(est_bytes=est, order=order, excess_bytes=500 * MB)
+    inp = SolverInput(est_bytes=est, order=order, excess_bytes=500 * MB)
     chosen = benchmark(GreedyScheduler().schedule, inp)
     assert chosen
 
@@ -75,7 +75,7 @@ def bench_scheduler_hybrid_assign(benchmark):
     order = {u: i for i, u in enumerate(est)}
     est_time = {u: 1e-4 + 5e-7 * i for i, u in enumerate(est)}
     bwd_time = {u: 1.6 * t for u, t in est_time.items()}
-    inp = SchedulerInput(
+    inp = SolverInput(
         est_bytes=est,
         order=order,
         excess_bytes=sum(est.values()) // 2,
@@ -102,8 +102,11 @@ def bench_allocator_10k_live_blocks(benchmark):
     Long-context transformer iterations keep every per-token activation
     alive until backward, so the allocator's free-list scan runs against
     a densely populated heap.  The scenario pins the steady-state churn
-    cost (allocate/free a mid-sized block) from staying flat as the
-    live-block population grows.
+    cost (allocate/free a mid-sized block, plus the fragmentation stats
+    the executor reads every iteration) from staying flat as the
+    live-block population grows — both the best-fit lookup and the
+    largest-block maximum are served by the size-bucketed free index,
+    never by a linear scan over >10k blocks.
     """
     rng = np.random.default_rng(0)
     alloc = CachingAllocator(64 * GB)
@@ -120,6 +123,8 @@ def bench_allocator_10k_live_blocks(benchmark):
         for _ in range(32):
             block = alloc.malloc(512 * 1024, owner="churn")
             alloc.free(block)
+            alloc.fragmentation_bytes()
+            alloc.largest_free_block()
 
     benchmark(churn)
     assert alloc.stats.num_allocs == alloc.stats.num_frees + len(live)
@@ -136,7 +141,7 @@ def bench_end_to_end_plan_generation(benchmark):
         bytes_ = est.predict_all_bytes(size)
         excess = sum(bytes_.values()) // 2
         return scheduler.schedule(
-            SchedulerInput(est_bytes=bytes_, order=order, excess_bytes=excess)
+            SolverInput(est_bytes=bytes_, order=order, excess_bytes=excess)
         )
 
     plan = benchmark(make_plan)

@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Commands:
-    list                 show tasks, planners, models, datasets
+    list                 show tasks, planners, solvers, models, datasets
     run                  run one (task, planner, budget) combination
     sweep                Fig 10-style sweep for one task
     table {1,3,4,5}      regenerate a paper table
     bounds               print per-task memory bounds and default budgets
+    gaps                 per-solver optimality gaps vs the exact solver
 """
 
 from __future__ import annotations
@@ -16,12 +17,13 @@ import sys
 from repro.experiments.report import render_table
 from repro.experiments.runner import (
     PLANNER_NAMES,
-    SCHEDULER_NAMES,
+    SOLVER_NAMES,
     run_task,
     sweep,
 )
 from repro.data.datasets import DRIFT_SCENARIOS
 from repro.experiments.tasks import GB, TASKS, load_task
+from repro.solvers import solver_class
 from repro.tensorsim.faults import FaultPlan
 
 
@@ -68,6 +70,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
     print("tasks:    ", ", ".join(sorted(TASKS)))
     print("planners: ", ", ".join(PLANNER_NAMES))
+    print("solvers:  ", ", ".join(SOLVER_NAMES))
     print("models:   ", ", ".join(available_models()))
     print("datasets: ", ", ".join(available_datasets()))
     return 0
@@ -127,20 +130,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scheduler = args.scheduler if args.scheduler != "greedy" else None
     if scheduler is not None and args.planner != "mimose":
         raise SystemExit(
-            f"error: --scheduler {scheduler} applies to --planner mimose "
+            f"error: --solver {scheduler} applies to --planner mimose "
             f"only, not {args.planner!r}"
         )
     if args.bwd_ratio is not None:
-        if scheduler != "hybrid":
+        if scheduler is None or not solver_class(scheduler).prices_actions:
             raise SystemExit(
-                "error: --bwd-ratio applies to --scheduler hybrid only"
+                "error: --bwd-ratio applies to action-pricing solvers "
+                "only (hybrid, exact, lp)"
             )
         if args.bwd_ratio <= 0:
             raise SystemExit("error: --bwd-ratio must be positive")
     # Capture the executor so the report can say which pricing branch the
-    # hybrid cost model actually used (observers never alter simulation).
+    # solver's cost model actually used (observers never alter simulation).
     executor_box: list = []
-    if scheduler == "hybrid":
+    if scheduler is not None and solver_class(scheduler).prices_actions:
         observers.append(executor_box.append)
     is_baseline_run = args.planner == "baseline" and faults is None
     baseline = run_task(
@@ -167,6 +171,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             compiled=not args.no_compiled,
             drift_detection=drift_detection,
             static_fit=args.static_fit,
+            gap_sizes=args.gap_sizes,
         )
     )
     breakdown = result.time_breakdown()
@@ -190,6 +195,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "drift_events": result.drift_events,
         }
     ]
+    if args.gap_sizes:
+        from repro.experiments.optimality import format_gaps
+
+        rows[0]["optimality_gap"] = format_gaps(result.optimality_gaps)
     title = f"{args.task} @ {args.budget_gb:.2f} GB ({args.iterations} iterations)"
     if args.drift_scenario is not None:
         title += f" [drift: {args.drift_scenario}]"
@@ -240,23 +249,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         compiled=not args.no_compiled,
         drift_detection=args.drift_scenario is not None,
+        gap_sizes=args.gap_sizes,
     )
     baseline = next(r for r in results if r.planner_name == "baseline")
     rows = []
     for r in results:
-        rows.append(
-            {
-                "planner": r.planner_name,
-                "budget_gb": r.budget_bytes / GB,
-                "normalized_time": r.normalized_time(baseline),
-                "peak_reserved_gb": r.peak_reserved / GB,
-                "oom": r.oom_count,
-                "retries": r.total_retries,
-                "recovered": r.recovered_count,
-                "refits": r.refits,
-                "drift_events": r.drift_events,
-            }
-        )
+        row: dict[str, object] = {
+            "planner": r.planner_name,
+            "budget_gb": r.budget_bytes / GB,
+            "normalized_time": r.normalized_time(baseline),
+            "peak_reserved_gb": r.peak_reserved / GB,
+            "oom": r.oom_count,
+            "retries": r.total_retries,
+            "recovered": r.recovered_count,
+            "refits": r.refits,
+            "drift_events": r.drift_events,
+        }
+        if args.gap_sizes:
+            from repro.experiments.optimality import format_gaps
+
+            row["optimality_gap"] = format_gaps(r.optimality_gaps)
+        rows.append(row)
     title = f"{args.task} sweep"
     if args.drift_scenario is not None:
         title += f" [drift: {args.drift_scenario}]"
@@ -266,11 +279,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gaps(args: argparse.Namespace) -> int:
+    """Optimality-gap table over every registered solver (CI smoke gate).
+
+    Exit 1 if the exact solver reports a nonzero gap against itself —
+    the invariant the optimality harness is built on.
+    """
+    from repro.experiments.optimality import (
+        fitted_inputs,
+        format_gaps,
+        gap_report,
+    )
+
+    inputs = fitted_inputs(args.task, num_sizes=args.sizes, seed=args.seed)
+    try:
+        report = gap_report(SOLVER_NAMES, inputs)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sizes = [size for size, _ in inputs]
+    rows = [
+        {
+            "solver": name,
+            "optimality_gap": format_gaps(report[name]) or "—",
+            "cells": len(report[name]),
+        }
+        for name in SOLVER_NAMES
+    ]
+    title = f"optimality gaps vs exact: {args.task} @ sizes {sizes}"
+    print(render_table(rows, title=title))
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import tables
 
     if args.number == 1:
-        print(render_table(tables.table1_rows(), title="Table I"))
+        print(
+            render_table(
+                tables.table1_rows(with_gaps=args.gaps), title="Table I"
+            )
+        )
     elif args.number == 3:
         print(render_table(tables.table3_rows(iterations=args.iterations), title="Table III"))
     elif args.number == 4:
@@ -301,13 +350,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--planner", choices=PLANNER_NAMES, default="mimose")
     run_p.add_argument("--budget-gb", type=float, required=True)
     run_p.add_argument(
-        "--scheduler",
-        choices=SCHEDULER_NAMES,
+        "--solver",
+        "--scheduler",  # pre-registry spelling, kept as an alias
+        dest="scheduler",
+        choices=SOLVER_NAMES,
         default="greedy",
         help=(
-            "scheduling strategy for mimose's excess-covering step "
+            "registered solver for mimose's excess-covering step "
             "('hybrid' mixes per-unit RECOMPUTE/SWAP via the PCIe cost "
-            "model; mimose only)"
+            "model, 'exact' is the branch-and-bound optimum, 'lp' the "
+            "relaxation-rounding sweep; mimose only)"
         ),
     )
     run_p.add_argument(
@@ -316,9 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="R",
         help=(
-            "force the hybrid cost model to price the swap overlap window "
-            "as R x mean forward time instead of measured backward times "
-            "(explicit override; requires --scheduler hybrid)"
+            "force the solver's cost model to price the swap overlap "
+            "window as R x mean forward time instead of measured backward "
+            "times (explicit override; requires an action-pricing solver, "
+            "e.g. --solver hybrid)"
+        ),
+    )
+    run_p.add_argument(
+        "--gap-sizes",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "after the run, report the solver's optimality gap vs the "
+            "exact solver at N of the run's input sizes (0 disables)"
         ),
     )
     run_p.add_argument("--iterations", type=int, default=60)
@@ -388,13 +451,40 @@ def build_parser() -> argparse.ArgumentParser:
             "arms drift monitors on the sweep's mimose points"
         ),
     )
+    sweep_p.add_argument(
+        "--gap-sizes",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "attach per-grid-point optimality gaps vs the exact solver "
+            "at N input sizes (0 disables)"
+        ),
+    )
     _add_fault_options(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 
     table_p = sub.add_parser("table", help="regenerate a paper table")
     table_p.add_argument("number", type=int, choices=(1, 3, 4, 5))
     table_p.add_argument("--iterations", type=int, default=120)
+    table_p.add_argument(
+        "--gaps",
+        action="store_true",
+        help=(
+            "fill Table I's optimality_gap column from a fitted mini-run "
+            "(table 1 only; costs a short TC-Bert fit)"
+        ),
+    )
     table_p.set_defaults(func=_cmd_table)
+
+    gaps_p = sub.add_parser(
+        "gaps",
+        help="per-solver optimality gaps vs the exact solver (CI gate)",
+    )
+    gaps_p.add_argument("--task", choices=sorted(TASKS), default="TC-Bert")
+    gaps_p.add_argument("--sizes", type=int, default=3)
+    gaps_p.add_argument("--seed", type=int, default=0)
+    gaps_p.set_defaults(func=_cmd_gaps)
     return parser
 
 

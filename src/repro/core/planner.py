@@ -44,7 +44,7 @@ from repro.core.collector import ShuttlingCollector
 from repro.core.estimator import LightningMemoryEstimator
 from repro.core.lifecycle import LifecycleController
 from repro.core.plan_cache import PlanCache
-from repro.core.scheduler import GreedyScheduler, Scheduler, SchedulerInput
+from repro.solvers import GreedyScheduler, Solver, SolverInput
 from repro.engine.stats import IterationStats
 from repro.models.base import BatchInput
 from repro.planners.base import (
@@ -104,7 +104,7 @@ class MimosePlanner(Planner):
         headroom_bytes: int | None = None,
         headroom_step: int = 256 * _MB,
         estimator: Optional[LightningMemoryEstimator] = None,
-        scheduler: Optional[Scheduler] = None,
+        scheduler: Optional[Solver] = None,
         cache: Optional[PlanCache] = None,
         recollect_margin: float = 0.10,
         adaptive_margin: bool = False,
@@ -213,7 +213,7 @@ class MimosePlanner(Planner):
         reserve = self.headroom_bytes + int(self.frag_observed.value())
         return self.budget_bytes - min(reserve, self._warmup_reserve * 2)
 
-    def scheduler_input(self, size: int) -> SchedulerInput:
+    def scheduler_input(self, size: int) -> SolverInput:
         """The scheduler's view of one input size, from current estimates.
 
         Carries measured backward times whenever the estimator holds any
@@ -233,7 +233,7 @@ class MimosePlanner(Planner):
             total = int(total * (1.0 + self.residuals.margin()))
         excess = total - self._usable_budget()
         if excess <= 0:
-            return SchedulerInput(
+            return SolverInput(
                 est_bytes=est, order=self._order, excess_bytes=excess
             )
         bwd_time = (
@@ -241,7 +241,7 @@ class MimosePlanner(Planner):
             if self.estimator.has_bwd_data
             else None
         )
-        return SchedulerInput(
+        return SolverInput(
             est_bytes=est,
             order=self._order,
             excess_bytes=excess,

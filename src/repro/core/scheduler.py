@@ -1,427 +1,35 @@
-"""Responsive memory scheduler (§IV-D, Algorithm 1).
+"""Compatibility shim: the scheduler family moved to :mod:`repro.solvers`.
 
-Given per-unit estimated activation sizes and the forward execution order,
-pick the units to checkpoint so the estimated excess over the budget is
-covered, preferring:
-
-1. the layer whose activation size is *nearest above* the remaining excess
-   (avoid over-dropping), falling back to the largest layer when none
-   covers it alone;
-2. within a ±10 % size bucket, the layer with the *earliest* forward
-   timestamp — checkpointing late layers barely lowers the peak because
-   their recompute happens while everything else is still resident
-   (Fig 9).
-
-A pluggable :class:`Scheduler` interface is kept, as the paper promises
-("Mimose still reserves a flexible interface for users to experiment with
-other scheduling algorithms"); :class:`KnapsackScheduler` is the
-Knapsack-style alternative it mentions.
-
-Schedulers answer in the per-unit action vocabulary (:class:`~repro
-.planners.base.ActionAssignment`): :meth:`Scheduler.assign` is the
-general interface, and the classic recompute-only algorithms keep their
-``schedule`` entry point, wrapped by the default ``assign`` as an
-all-RECOMPUTE assignment.  :class:`HybridGreedyScheduler` prices
-RECOMPUTE against SWAP per unit through a pluggable :class:`CostModel`
-(Capuchin's rule, shared with :mod:`repro.planners.capuchin`), which is
-what lets ``MimosePlanner`` emit input-aware hybrid plans
-(``repro run --scheduler hybrid``).
+The responsive schedulers (§IV-D, Algorithm 1), the knapsack alternative
+and the hybrid swap/recompute scheduler now live in the unified solver
+registry — one decision layer over
+:class:`~repro.planners.base.ActionAssignment` shared with the
+optimality harness (exact, LP-rounding, Chen baselines).  This module
+re-exports the original names so pre-refactor imports keep working;
+new code should import from :mod:`repro.solvers` and construct by name
+via :func:`repro.solvers.make_solver`.
 """
 
-from __future__ import annotations
+from repro.solvers.base import (
+    CostModel,
+    PcieCostModel,
+    Scheduler,
+    SchedulerInput,
+    predicted_swap_stall,
+)
+from repro.solvers.greedy import (
+    GreedyScheduler,
+    HybridGreedyScheduler,
+    KnapsackScheduler,
+)
 
-import math
-from dataclasses import dataclass
-from typing import Mapping, Optional, Protocol
-
-from repro.planners.base import ActionAssignment
-from repro.tensorsim.device import DeviceModel
-
-
-@dataclass(frozen=True, slots=True)
-class SchedulerInput:
-    """Everything a scheduler may consider for one input size.
-
-    Attributes:
-        est_bytes: estimated activation bytes per checkpointable unit.
-        order: forward timestamp (index) per unit.
-        excess_bytes: estimated bytes beyond the usable budget that the
-            plan must release.
-        est_time: optional estimated forward (recompute) seconds per unit.
-        bwd_time: optional estimated backward seconds per unit (cost
-            models derive the swap overlap window from it; filled from
-            sheltered backward measurements by both the Capuchin planner
-            and ``MimosePlanner`` once the estimator has backward data).
-    """
-
-    est_bytes: Mapping[str, int]
-    order: Mapping[str, int]
-    excess_bytes: int
-    est_time: Mapping[str, float] | None = None
-    bwd_time: Mapping[str, float] | None = None
-
-
-class CostModel(Protocol):
-    """Prices each :class:`~repro.planners.base.MemoryAction` per unit.
-
-    Implementations read the estimates carried by a
-    :class:`SchedulerInput` and a device model; they never touch planner
-    state, so one instance can be shared between planners (Capuchin and
-    hybrid Mimose price actions through the same object).
-    """
-
-    def recompute_cost(self, unit: str, inp: SchedulerInput) -> float:
-        """Seconds to rematerialise the unit (its forward time)."""
-        ...
-
-    def swap_cost(self, unit: str, inp: SchedulerInput) -> float:
-        """Stall seconds swapping costs beyond the backward overlap."""
-        ...
-
-    def transfer_time(self, nbytes: int) -> float:
-        """Raw PCIe transfer seconds for one unit's activations."""
-        ...
-
-    def overlap_window(self, inp: SchedulerInput) -> float:
-        """Backward compute a transfer can hide under, seconds."""
-        ...
-
-    def transfer_envelope(self, inp: SchedulerInput) -> float:
-        """Aggregate transfer budget for the whole plan, seconds."""
-        ...
-
-
-class PcieCostModel:
-    """Capuchin's swap/recompute pricing rule (Peng et al., ASPLOS 2020).
-
-    ``swap_cost(u) = max(0, transfer_time(bytes_u) - overlap_window)``
-    against ``recompute_cost(u) = forward_time(u)``, plus an aggregate
-    envelope — swap-outs serialise on one copy engine and must complete
-    roughly within the forward pass, so transfers beyond
-    ``envelope_fraction`` of the total forward time never finish before
-    their backward (the paper's §II observation that PCIe cannot keep up
-    with activation production).
-
-    The overlap window is the mean per-unit backward time when the input
-    carries measured backwards (Capuchin's measured-execution
-    discipline).  Without measured backwards it falls back to
-    ``bwd_ratio`` × the mean estimated forward time — the backward ≈ 2×
-    forward *folk* rule, a rough average that is wrong per architecture
-    (attention-heavy vs. conv-heavy units differ substantially), which
-    is exactly why measured backwards exist.  The fallback ratio is
-    :data:`DEFAULT_BWD_RATIO` unless the caller forces one.
-
-    Args:
-        device: device model used to price PCIe transfers.
-        pcie_bandwidth: host link bandwidth (bytes/s); ``None`` prices
-            transfers at the device preset's own link speed.
-        bwd_ratio: ``None`` (the default) prefers measured ``bwd_time``
-            and uses :data:`DEFAULT_BWD_RATIO` only as the fallback when
-            backwards were never measured.  An explicit float *forces*
-            ratio pricing even when measured backwards are available —
-            the ``--bwd-ratio`` CLI override, useful for A/B-ing the
-            constant against measured pricing.
-        envelope_fraction: fraction of total forward time available to
-            the copy engine.
-    """
-
-    #: Fallback backward/forward ratio when no backwards were measured.
-    #: A folk constant, not a law — see the class docstring.
-    DEFAULT_BWD_RATIO = 2.0
-
-    def __init__(
-        self,
-        device: Optional[DeviceModel] = None,
-        *,
-        pcie_bandwidth: Optional[float] = None,
-        bwd_ratio: Optional[float] = None,
-        envelope_fraction: float = 0.8,
-    ) -> None:
-        self.device = device if device is not None else DeviceModel()
-        self.pcie_bandwidth = pcie_bandwidth
-        self.bwd_ratio = bwd_ratio
-        self.envelope_fraction = envelope_fraction
-
-    def transfer_time(self, nbytes: int) -> float:
-        return self.device.transfer_time(
-            nbytes, pcie_bandwidth=self.pcie_bandwidth
-        )
-
-    def recompute_cost(self, unit: str, inp: SchedulerInput) -> float:
-        if inp.est_time is None:
-            # No time information: recompute is assumed free, so swapping
-            # (whose stall is never negative) is never preferred.
-            return 0.0
-        return inp.est_time[unit]
-
-    def pricing_mode(self, inp: SchedulerInput) -> str:
-        """Which branch :meth:`overlap_window` takes for this input.
-
-        One of ``"measured-bwd"`` (per-unit measured backwards),
-        ``"ratio-override"`` (caller forced an explicit ratio),
-        ``"ratio-fallback"`` (no backwards measured; the
-        :data:`DEFAULT_BWD_RATIO` constant), or ``"untimed"`` (no time
-        estimates at all — swapping never wins).
-        """
-        if self.bwd_ratio is not None:
-            return "ratio-override" if inp.est_time is not None else "untimed"
-        if inp.bwd_time is not None:
-            return "measured-bwd"
-        if inp.est_time is not None:
-            return "ratio-fallback"
-        return "untimed"
-
-    def overlap_window(self, inp: SchedulerInput) -> float:
-        if self.bwd_ratio is None and inp.bwd_time is not None:
-            bwd = list(inp.bwd_time.values())
-            return sum(bwd) / max(len(bwd), 1)
-        if inp.est_time is None:
-            return 0.0
-        ratio = (
-            self.DEFAULT_BWD_RATIO if self.bwd_ratio is None
-            else self.bwd_ratio
-        )
-        fwd = list(inp.est_time.values())
-        return ratio * (sum(fwd) / max(len(fwd), 1))
-
-    def transfer_envelope(self, inp: SchedulerInput) -> float:
-        if inp.est_time is None:
-            return 0.0
-        return self.envelope_fraction * sum(inp.est_time.values())
-
-    def swap_cost(self, unit: str, inp: SchedulerInput) -> float:
-        transfer = self.transfer_time(inp.est_bytes[unit])
-        return max(0.0, transfer - self.overlap_window(inp))
-
-
-class Scheduler:
-    """Strategy interface: assign a memory action per unit.
-
-    ``schedule`` is the classic recompute-only entry point (Algorithm 1's
-    vocabulary); ``assign`` is the general one.  Recompute-only
-    schedulers implement ``schedule`` and inherit the default ``assign``
-    wrapper; action-aware schedulers override ``assign`` directly.
-    """
-
-    name = "scheduler"
-
-    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
-        raise NotImplementedError
-
-    def assign(self, inp: SchedulerInput) -> ActionAssignment:
-        """Default: every scheduled unit is dropped and recomputed."""
-        return ActionAssignment.from_sets(recompute=self.schedule(inp))
-
-
-class GreedyScheduler(Scheduler):
-    """Algorithm 1: bucketed greedy selection.
-
-    Args:
-        bucket_tolerance: relative width of a similarity bucket; 0.10 is
-            the paper's ±10 %.
-    """
-
-    name = "greedy"
-
-    def __init__(self, bucket_tolerance: float = 0.10) -> None:
-        if not 0.0 <= bucket_tolerance < 1.0:
-            raise ValueError("bucket_tolerance must be in [0, 1)")
-        self.bucket_tolerance = bucket_tolerance
-
-    def build_buckets(self, inp: SchedulerInput) -> list[list[str]]:
-        """Group units of similar estimated size (Algorithm 1 lines 2-12).
-
-        Buckets are ordered by descending size; units inside a bucket by
-        ascending forward timestamp.
-        """
-        remaining = sorted(
-            inp.est_bytes, key=lambda u: inp.est_bytes[u], reverse=True
-        )
-        buckets: list[list[str]] = []
-        i = 0
-        while i < len(remaining):
-            head = remaining[i]
-            head_size = inp.est_bytes[head]
-            floor = head_size * (1.0 - self.bucket_tolerance)
-            j = i + 1
-            while j < len(remaining) and inp.est_bytes[remaining[j]] > floor:
-                j += 1
-            bucket = sorted(remaining[i:j], key=lambda u: inp.order[u])
-            buckets.append(bucket)
-            i = j
-        return buckets
-
-    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
-        if inp.excess_bytes <= 0:
-            return frozenset()
-        buckets = self.build_buckets(inp)
-        chosen: list[str] = []
-        excess = inp.excess_bytes
-        while excess > 0 and buckets:
-            # Buckets whose largest member alone covers the excess
-            # (Algorithm 1 line 15); choose the tightest one.
-            candidates = [
-                b for b in buckets
-                if max(inp.est_bytes[u] for u in b) >= excess
-            ]
-            if candidates:
-                bucket = min(
-                    candidates, key=lambda b: max(inp.est_bytes[u] for u in b)
-                )
-                # "Nearest above": only members that cover the excess alone
-                # qualify — the earliest-timestamp member of the bucket may
-                # be up to bucket_tolerance smaller than the excess, and
-                # picking it would force one extra (over-dropping) pick.
-                unit = min(
-                    (u for u in bucket if inp.est_bytes[u] >= excess),
-                    key=lambda u: inp.order[u],
-                )
-                bucket.remove(unit)
-            else:
-                bucket = buckets[0]  # largest activations first
-                unit = bucket.pop(0)  # earliest timestamp inside the bucket
-            if not bucket:
-                buckets.remove(bucket)
-            chosen.append(unit)
-            excess -= inp.est_bytes[unit]
-        return frozenset(chosen)
-
-
-class KnapsackScheduler(Scheduler):
-    """Exact alternative: minimise recompute time subject to coverage.
-
-    Solves min sum(time_u) over subsets with sum(bytes_u) >= excess via DP
-    on quantised bytes.  Useful as an ablation upper bound on plan quality;
-    slower than the greedy pass but still sub-millisecond at unit counts.
-    """
-
-    name = "knapsack"
-    _QUANTUM = 1 << 20  # 1 MiB
-
-    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
-        if inp.excess_bytes <= 0:
-            return frozenset()
-        need = math.ceil(inp.excess_bytes / self._QUANTUM)
-        # Round *down*: each counted quantum under-states the unit's real
-        # bytes, so DP coverage (sum(sizes) >= need) guarantees the real
-        # bytes freed reach excess_bytes.  A max(1, ...) floor here would
-        # let a sub-quantum unit masquerade as a full MiB and leave the
-        # excess uncovered.  Zero-quantum units can never help cover, so
-        # they are excluded from the DP outright.
-        sizes = {
-            u: b // self._QUANTUM
-            for u, b in inp.est_bytes.items()
-            if b >= self._QUANTUM
-        }
-        units = list(sizes)
-        times = {
-            u: (inp.est_time[u] if inp.est_time else float(inp.order[u] + 1))
-            for u in units
-        }
-        total = sum(sizes.values())
-        if total < need:
-            # Even every DP-eligible unit falls short of guaranteed
-            # coverage; drop everything, sub-quantum units included.
-            return frozenset(inp.est_bytes)
-        # rows[i][c] = min time to cover >= c quanta using the first i units
-        inf = float("inf")
-        rows: list[list[float]] = [[0.0, *([inf] * need)]]
-        for u in units:
-            w, t = sizes[u], times[u]
-            prev = rows[-1]
-            cur = prev[:]
-            for c in range(1, need + 1):
-                src = prev[max(0, c - w)] + t
-                if src < cur[c]:
-                    cur[c] = src
-            rows.append(cur)
-        if rows[-1][need] == inf:
-            return frozenset(inp.est_bytes)
-        chosen: list[str] = []
-        c = need
-        for i in range(len(units), 0, -1):
-            if rows[i][c] != rows[i - 1][c]:
-                u = units[i - 1]
-                chosen.append(u)
-                c = max(0, c - sizes[u])
-        return frozenset(chosen)
-
-
-class HybridGreedyScheduler(Scheduler):
-    """Per-unit swap-vs-recompute greedy over a :class:`CostModel`.
-
-    Capuchin's selection loop, lifted out of the planner so any caller
-    with per-unit byte/time estimates can use it: walk the units largest
-    activations first until the excess is covered, and for each pick the
-    cheaper action — SWAP when its residual stall undercuts the unit's
-    recompute time *and* the cumulative transfer still fits the copy
-    engine's envelope, RECOMPUTE otherwise.  Zero-byte units free
-    nothing and are skipped.
-
-    With :class:`~repro.core.planner.MimosePlanner` driving it
-    (``repro run --scheduler hybrid``), the estimates come from the
-    Lightning estimator per input size, making the swap/recompute split
-    input-aware — the ROADMAP "choose per tensor" item.
-    """
-
-    name = "hybrid"
-
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
-        self.cost_model = (
-            cost_model if cost_model is not None else PcieCostModel()
-        )
-
-    def schedule(self, inp: SchedulerInput) -> frozenset[str]:
-        """Recompute-only view of :meth:`assign` (legacy callers)."""
-        return self.assign(inp).checkpoint_units
-
-    def assign(self, inp: SchedulerInput) -> ActionAssignment:
-        if inp.excess_bytes <= 0:
-            return ActionAssignment.empty()
-        model = self.cost_model
-        # One O(n) envelope + window per call, not per unit: the per-unit
-        # swap price is max(0, transfer - window), float-identical to
-        # model.swap_cost(name, inp) but without re-deriving the window
-        # (itself an O(n) mean) inside the selection loop.
-        envelope = model.transfer_envelope(inp)
-        window = model.overlap_window(inp)
-        drop: set[str] = set()
-        swap: set[str] = set()
-        freed = 0
-        cum_transfer = 0.0
-        for name in sorted(inp.est_bytes, key=lambda n: -inp.est_bytes[n]):
-            if freed >= inp.excess_bytes:
-                break
-            nbytes = inp.est_bytes[name]
-            if nbytes == 0:
-                continue
-            transfer = model.transfer_time(nbytes)
-            fits_bandwidth = cum_transfer + transfer <= envelope
-            stall = max(0.0, transfer - window)
-            if stall < model.recompute_cost(name, inp) and fits_bandwidth:
-                swap.add(name)
-                cum_transfer += transfer
-            else:
-                drop.add(name)
-            freed += nbytes
-        return ActionAssignment.from_sets(
-            recompute=frozenset(drop), swap=frozenset(swap)
-        )
-
-
-def predicted_swap_stall(
-    model: CostModel, assignment: ActionAssignment, inp: SchedulerInput
-) -> float:
-    """Total backward stall the cost model predicts for a plan's swaps.
-
-    Sums ``max(0, transfer_time(bytes_u) - overlap_window)`` over the
-    assignment's swapped units — the same residual the selection loop
-    priced, aggregated so it can be compared against the simulated
-    ``swap_stall_time`` a run actually reports (the calibration check
-    ``benchmarks/bench_hybrid.py`` performs).
-    """
-    window = model.overlap_window(inp)
-    return sum(
-        max(0.0, model.transfer_time(inp.est_bytes[u]) - window)
-        for u in assignment.swap_units
-    )
+__all__ = [
+    "CostModel",
+    "PcieCostModel",
+    "Scheduler",
+    "SchedulerInput",
+    "predicted_swap_stall",
+    "GreedyScheduler",
+    "HybridGreedyScheduler",
+    "KnapsackScheduler",
+]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -146,6 +147,13 @@ class RunResult:
     refits: int = 0
     #: drift-monitor firings (Page–Hinkley residual or input-size CUSUM)
     drift_events: int = 0
+    # --- optimality harness (filled in post-run, opt-in) ---
+    #: relative optimality gap of the run's plans versus the exact solver,
+    #: keyed by input size (see :mod:`repro.experiments.optimality`).
+    #: Empty unless gap reporting was requested; never hashed by
+    #: :meth:`digest` (which reads iterations only), so attaching gaps
+    #: cannot perturb digest parity.
+    optimality_gaps: dict[int, float] = field(default_factory=dict)
 
     def append(self, stats: IterationStats) -> None:
         self.iterations.append(stats)
@@ -328,6 +336,22 @@ def summarize_runs(runs: Sequence[RunResult]) -> list[dict[str, object]]:
                 "compiled_hit_rate": r.compiled_hit_rate,
                 "refits": r.refits,
                 "drift_events": r.drift_events,
+                "optimality_gap": _format_gaps(r.optimality_gaps),
             }
         )
     return rows
+
+
+def _format_gaps(gaps: dict[int, float]) -> str:
+    """Render per-size gaps compactly: ``"12.5%/0.0%/3.1%"`` by size.
+
+    ``"—"`` when no gaps were attached (the default: gap reporting is
+    opt-in because it requires extra solver runs per input size).
+    """
+    if not gaps:
+        return "—"
+    parts = []
+    for size in sorted(gaps):
+        gap = gaps[size]
+        parts.append("inf" if math.isinf(gap) else f"{100.0 * gap:.1f}%")
+    return "/".join(parts)

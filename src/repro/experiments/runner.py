@@ -20,13 +20,6 @@ from dataclasses import replace as _dc_replace
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.core.planner import MimosePlanner
-from repro.core.scheduler import (
-    GreedyScheduler,
-    HybridGreedyScheduler,
-    KnapsackScheduler,
-    PcieCostModel,
-    Scheduler,
-)
 from repro.engine.executor import TrainingExecutor
 from repro.engine.stats import RunResult
 from repro.engine.trace import MemoryTimeline
@@ -38,6 +31,7 @@ from repro.planners.dtr import DTRPlanner
 from repro.planners.monet import MonetPlanner
 from repro.planners.none import NoCheckpointPlanner
 from repro.planners.sublinear import SublinearPlanner
+from repro.solvers import Solver, make_solver, solver_class, solver_names
 from repro.tensorsim.device import DeviceModel, V100
 from repro.tensorsim.faults import FaultInjector, FaultPlan
 
@@ -45,10 +39,16 @@ PLANNER_NAMES = (
     "baseline", "sublinear", "checkmate", "monet", "dtr", "capuchin", "mimose"
 )
 
-#: schedulers Mimose's excess-covering step can run with.  "greedy" is the
-#: paper's Algorithm 1 (recompute-only) and the default; "knapsack" is the
-#: 0/1 alternative; "hybrid" prices RECOMPUTE against SWAP per unit with
-#: the shared PCIe cost model and emits mixed-action assignments.
+#: every registered solver Mimose's excess-covering step can run with
+#: (``repro run --solver``).  "greedy" is the paper's Algorithm 1
+#: (recompute-only) and the default; "knapsack" is the 0/1 alternative;
+#: "hybrid" prices RECOMPUTE against SWAP per unit with the shared PCIe
+#: cost model; the rest are the optimality-harness solvers (exact, lp,
+#: chen-*) and the static planner cores (sublinear, checkmate).
+SOLVER_NAMES = solver_names()
+
+#: the pre-registry subset (the original ``--scheduler`` choices), kept
+#: for callers that enumerate the paper's own scheduler family.
 SCHEDULER_NAMES = ("greedy", "knapsack", "hybrid")
 
 
@@ -57,23 +57,21 @@ def make_scheduler(
     *,
     device: Optional[DeviceModel] = None,
     bwd_ratio: Optional[float] = None,
-) -> Scheduler:
-    """Construct a scheduling strategy by name (``SCHEDULER_NAMES``).
+) -> Solver:
+    """Construct a solver by name — the registry's experiment-side door.
 
-    ``bwd_ratio`` forces the hybrid cost model's ratio pricing instead of
-    measured backward times (``--bwd-ratio`` on the CLI); it is an
-    explicit override only — the default is measured pricing with the
-    labelled :data:`PcieCostModel.DEFAULT_BWD_RATIO` fallback.
+    Kept under its pre-registry name; delegates to
+    :func:`repro.solvers.make_solver` with the experiment default device
+    so action-pricing solvers (hybrid, exact, lp) price PCIe transfers
+    on the V100 preset every run uses.  ``bwd_ratio`` forces ratio
+    pricing instead of measured backward times (``--bwd-ratio`` on the
+    CLI); it is an explicit override only — the default is measured
+    pricing with the labelled
+    :data:`~repro.solvers.PcieCostModel.DEFAULT_BWD_RATIO` fallback.
     """
-    if name == "greedy":
-        return GreedyScheduler()
-    if name == "knapsack":
-        return KnapsackScheduler()
-    if name == "hybrid":
-        return HybridGreedyScheduler(
-            PcieCostModel(device or DeviceModel(V100), bwd_ratio=bwd_ratio)
-        )
-    raise KeyError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
+    return make_solver(
+        name, device=device or DeviceModel(V100), bwd_ratio=bwd_ratio
+    )
 
 
 def make_planner(
@@ -90,11 +88,11 @@ def make_planner(
     """Construct a planner by name, wired to the task's offline knowledge.
 
     Static planners receive the shapes their papers allow them to know
-    offline; Mimose receives only the budget (plus, optionally, a named
-    scheduling strategy for its excess-covering step — the only planner
-    whose scheduler is runtime-pluggable).  ``bwd_ratio`` forces ratio
-    pricing in the hybrid scheduler's cost model and is rejected
-    elsewhere (only the hybrid path prices swaps).
+    offline; Mimose receives only the budget (plus, optionally, a
+    registered solver name for its excess-covering step — the only
+    planner whose solver is runtime-pluggable).  ``bwd_ratio`` forces
+    ratio pricing in action-pricing solvers' cost models and is rejected
+    for coverage-only solvers (``Solver.prices_actions`` is the gate).
 
     ``drift_detection`` arms Mimose's lifecycle drift monitors (online
     replanning); ``static_fit`` is the ablation comparator that never
@@ -103,12 +101,14 @@ def make_planner(
     """
     if scheduler is not None and name != "mimose":
         raise ValueError(
-            f"--scheduler applies to the mimose planner only, not {name!r}"
+            f"--solver applies to the mimose planner only, not {name!r}"
         )
-    if bwd_ratio is not None and scheduler != "hybrid":
+    if bwd_ratio is not None and (
+        scheduler is None or not solver_class(scheduler).prices_actions
+    ):
         raise ValueError(
-            "--bwd-ratio applies to the hybrid scheduler only; pass "
-            "--scheduler hybrid"
+            "--bwd-ratio applies to action-pricing solvers only "
+            "(hybrid, exact, lp); pass e.g. --solver hybrid"
         )
     if (drift_detection or static_fit) and name != "mimose":
         raise ValueError(
@@ -167,6 +167,7 @@ def run_task(
     compiled: bool = True,
     drift_detection: bool = False,
     static_fit: bool = False,
+    gap_sizes: int = 0,
 ) -> RunResult:
     """Execute the task's loader under one planner and budget.
 
@@ -187,11 +188,11 @@ def run_task(
     simulated behaviour (the bus is observe-only), so the digest contract
     is unaffected.
 
-    ``scheduler`` names one of :data:`SCHEDULER_NAMES` for Mimose's
-    excess-covering step (``--scheduler`` on the CLI); ``None`` keeps the
+    ``scheduler`` names one of :data:`SOLVER_NAMES` for Mimose's
+    excess-covering step (``--solver`` on the CLI); ``None`` keeps the
     planner's default.  Rejected for non-Mimose planners.  ``bwd_ratio``
-    forces the hybrid cost model's ratio pricing (``--bwd-ratio``);
-    rejected without ``scheduler="hybrid"``.
+    forces ratio pricing in action-pricing solvers (``--bwd-ratio``);
+    rejected for coverage-only solvers.
 
     ``compiled`` toggles the executor's compiled-template tier
     (``--no-compiled`` on the CLI disables it); results are bit-identical
@@ -200,6 +201,12 @@ def run_task(
     ``drift_detection`` arms Mimose's lifecycle drift monitors;
     ``static_fit`` freezes the initial fit (infinite recollect margin) —
     the drift-benchmark comparator.  Both Mimose-only.
+
+    ``gap_sizes > 0`` attaches per-input-size optimality gaps to the
+    result after the run (``--gap-sizes`` on the CLI): the planner's
+    solver is re-scored against the exact solver at that many of the
+    run's input sizes (see :mod:`repro.experiments.optimality`).
+    Post-run and digest-neutral — simulated behaviour is unchanged.
     """
     device = device or DeviceModel(V100)
     model = task.fresh_model()
@@ -252,6 +259,10 @@ def run_task(
     if lifecycle is not None:
         result.refits = lifecycle.refit_count
         result.drift_events = lifecycle.drift_events
+    if gap_sizes > 0:
+        from repro.experiments.optimality import attach_gaps
+
+        attach_gaps(planner, result, sizes_limit=gap_sizes, device=device)
     return result
 
 
@@ -315,6 +326,7 @@ def _pool_run_point(
         compiled=_POOL_STATE["compiled"],  # type: ignore[arg-type]
         drift_detection=drift,
         static_fit=static,
+        gap_sizes=_POOL_STATE.get("gap_sizes", 0),  # type: ignore[arg-type]
     )
 
 
@@ -366,6 +378,7 @@ def sweep(
     compiled: bool = True,
     drift_detection: bool = False,
     static_fit: bool = False,
+    gap_sizes: int = 0,
 ) -> list[RunResult]:
     """Grid of runs; the baseline (budget-independent) runs once.
 
@@ -380,6 +393,10 @@ def sweep(
     ``drift_detection``/``static_fit`` arm Mimose's lifecycle monitors /
     freeze its initial fit; they apply to the sweep's ``mimose`` points
     only, so mixed-planner sweeps under drift scenarios stay valid.
+
+    ``gap_sizes > 0`` attaches optimality gaps to every grid point's
+    result post-run (see :func:`run_task`); digests are unaffected, so
+    serial/parallel equivalence holds with gaps on.
     """
     budgets = list(budgets)
     points: list[tuple[str, int, Optional[FaultPlan], int, bool, bool]] = []
@@ -406,6 +423,7 @@ def sweep(
         "device": device,
         "max_iterations": max_iterations,
         "compiled": compiled,
+        "gap_sizes": gap_sizes,
     }
     return parallel_map(
         _pool_run_point,

@@ -41,19 +41,32 @@ def _capability_row(name: str, caps) -> dict[str, object]:
     }
 
 
-def table1_rows() -> list[dict[str, object]]:
+def table1_rows(
+    with_gaps: bool = False,
+    gap_task: str = "TC-Bert",
+    gap_sizes: int = 3,
+) -> list[dict[str, object]]:
     """The capability matrix for the planners implemented here.
 
-    ``mimose-hybrid`` is Mimose under ``--scheduler hybrid``: the same
+    ``mimose-hybrid`` is Mimose under ``--solver hybrid``: the same
     planner with the excess-covering step swapped for the shared PCIe
     cost model, which adds Capuchin's swapping column while keeping
-    every input-dynamics capability.
+    every input-dynamics capability.  ``mimose-knapsack`` and
+    ``mimose-exact`` are likewise Mimose under ``--solver knapsack`` /
+    ``--solver exact``.
 
     ``mimose-lifecycle`` is Mimose with the lifecycle drift monitors
     armed (``--drift-scenario`` / ``drift_detection=True``): the same
     planner surviving *non-stationary* input-size distributions via
     online detection, partial re-collection and refitting — OOM
     survival under drift is what ``benchmarks/bench_drift.py`` gates.
+
+    Every row carries an ``optimality_gap`` column: "—" by default, and
+    with ``with_gaps=True`` the per-input-size relative gaps of the
+    row's solver against the exact optimum on ``gap_task``, at
+    ``gap_sizes`` evenly spaced input sizes from one fitted estimator
+    (see :mod:`repro.experiments.optimality`).  Opt-in because it costs
+    a short mini-run; the qualitative matrix stays instant.
     """
     classes = [MimosePlanner, DTRPlanner, SublinearPlanner, CheckmatePlanner,
                MonetPlanner, CapuchinPlanner, NoCheckpointPlanner]
@@ -80,6 +93,42 @@ def table1_rows() -> list[dict[str, object]]:
             ),
         ),
     )
+    rows.insert(
+        3,
+        _capability_row(
+            "mimose-knapsack",
+            dataclasses.replace(
+                MimosePlanner.capabilities, search_algorithm="knapsack"
+            ),
+        ),
+    )
+    rows.insert(
+        4,
+        _capability_row(
+            "mimose-exact",
+            dataclasses.replace(
+                MimosePlanner.capabilities,
+                swapping=True,
+                search_algorithm="exact B&B",
+            ),
+        ),
+    )
+    for row in rows:
+        row["optimality_gap"] = "—"
+    if with_gaps:
+        from repro.experiments.optimality import (
+            TABLE1_SOLVERS,
+            fitted_inputs,
+            format_gaps,
+            gap_report,
+        )
+
+        inputs = fitted_inputs(gap_task, num_sizes=gap_sizes)
+        report = gap_report(sorted(set(TABLE1_SOLVERS.values())), inputs)
+        for row in rows:
+            solver = TABLE1_SOLVERS.get(str(row["planner"]))
+            if solver is not None and report.get(solver):
+                row["optimality_gap"] = format_gaps(report[solver])
     return rows
 
 

@@ -32,6 +32,7 @@ from repro.graph.ops import (
     Tanh,
     Transpose,
 )
+from repro.graph.articulation import articulation_points
 from repro.graph.module import (
     ActivationRecord,
     Module,
@@ -63,6 +64,7 @@ __all__ = [
     "Softmax",
     "Tanh",
     "Transpose",
+    "articulation_points",
     "ActivationRecord",
     "Module",
     "ModuleProfile",

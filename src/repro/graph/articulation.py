@@ -1,0 +1,85 @@
+"""Articulation points of an undirected graph (Tarjan/Hopcroft).
+
+A vertex is an articulation point when removing it disconnects its
+component.  For checkpointing this is the classic segmentation
+criterion (Chen et al. 2016): a segment boundary must be a vertex every
+dataflow path crosses, otherwise recomputing the segment needs tensors
+the boundary does not carry.  On the simulator's sequential unit chains
+every internal unit qualifies; the implementation is the general
+linear-time algorithm so branched graphs are handled identically.
+
+Iterative (explicit stack) rather than recursive: model graphs can be
+deeper than the default recursion limit.  Iteration order is sorted, so
+the traversal — and therefore nothing observable, the result is a set —
+is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def articulation_points(
+    adjacency: Mapping[str, Iterable[str]],
+) -> frozenset[str]:
+    """Vertices whose removal disconnects their component.
+
+    Args:
+        adjacency: undirected adjacency — every edge should appear in
+            both endpoints' lists (missing reverse entries are repaired
+            internally).
+    """
+    neighbours: dict[str, list[str]] = {v: [] for v in adjacency}
+    for v, adj in adjacency.items():
+        for w in adj:
+            neighbours.setdefault(v, [])
+            neighbours.setdefault(w, [])
+    for v, adj in adjacency.items():
+        for w in adj:
+            if w not in neighbours[v]:
+                neighbours[v].append(w)
+            if v not in neighbours[w]:
+                neighbours[w].append(v)
+    for adj_list in neighbours.values():
+        adj_list.sort()
+
+    disc: dict[str, int] = {}
+    low: dict[str, int] = {}
+    parent: dict[str, str | None] = {}
+    points: set[str] = set()
+    counter = 0
+
+    for root in sorted(neighbours):
+        if root in disc:
+            continue
+        parent[root] = None
+        root_children = 0
+        # Stack frames: (vertex, iterator index into its adjacency list).
+        stack: list[tuple[str, int]] = [(root, 0)]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            v, idx = stack[-1]
+            adj = neighbours[v]
+            if idx < len(adj):
+                stack[-1] = (v, idx + 1)
+                w = adj[idx]
+                if w not in disc:
+                    parent[w] = v
+                    if v == root:
+                        root_children += 1
+                    disc[w] = low[w] = counter
+                    counter += 1
+                    stack.append((w, 0))
+                elif w != parent[v]:
+                    low[v] = min(low[v], disc[w])
+            else:
+                stack.pop()
+                p = parent[v]
+                if p is not None:
+                    low[p] = min(low[p], low[v])
+                    if p != root and low[v] >= disc[p]:
+                        points.add(p)
+        if root_children > 1:
+            points.add(root)
+    return frozenset(points)

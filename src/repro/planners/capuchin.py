@@ -32,11 +32,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.scheduler import (
-    HybridGreedyScheduler,
-    PcieCostModel,
-    SchedulerInput,
-)
+from repro.solvers.base import PcieCostModel, SchedulerInput
+from repro.solvers.greedy import HybridGreedyScheduler
 from repro.models.base import BatchInput
 from repro.planners.analysis import predict_peak_bytes, unit_saved_bytes
 from repro.planners.base import (

@@ -43,12 +43,16 @@ def solve_keep_knapsack(
     Values are the forward (recompute) times avoided by keeping a unit;
     weights are its saved activation bytes.  Weights are quantised to 1 MiB
     so the DP table stays small; quantisation rounds weights *up*, keeping
-    the solution feasible.
+    the solution feasible.  Zero-byte units quantise to weight 0 — keeping
+    them consumes no capacity, so they are always worth keeping; the old
+    ``max(1, ...)`` floor charged them a phantom MiB each and could evict
+    a free keep under a tight budget (the sub-quantum mirror of
+    ``KnapsackScheduler``'s round-*down* rule on the covering side).
     """
     n = len(values)
     if n == 0 or capacity <= 0:
         return []
-    w = [max(1, math.ceil(weight / _SCALE)) for weight in weights]
+    w = [math.ceil(weight / _SCALE) for weight in weights]
     cap = capacity // _SCALE
     if cap <= 0:
         return []

@@ -153,6 +153,18 @@ class _FreeIndex:
             del self._buckets[cls]
             self._classes.remove(cls)
 
+    def max_size(self) -> int:
+        """Largest indexed free-block size, O(1) (0 when empty).
+
+        The class list is sorted and every bucket sorted by (size, addr),
+        so the last entry of the last class is the global maximum — the
+        value ``largest_free_block``/``fragmentation_bytes`` previously
+        recomputed with a full linear scan per call.
+        """
+        if not self._classes:
+            return 0
+        return self._buckets[self._classes[-1]][-1][0]
+
     def best_fit(self, size: int) -> Optional[Block]:
         """Smallest free block >= size; ties break toward the lowest addr."""
         classes = self._classes
@@ -186,6 +198,8 @@ class _FreeIndex:
                 indexed += 1
         assert indexed == len(self._by_addr), "bucket/addr views disagree"
         assert self._classes == sorted(self._buckets), "class list stale"
+        linear_max = max((b.size for b in self._by_addr.values()), default=0)
+        assert self.max_size() == linear_max, "max_size diverged from scan"
 
 
 @dataclass(slots=True)
@@ -277,19 +291,25 @@ class CachingAllocator:
         return self.capacity - self.stats.bytes_in_use
 
     def largest_free_block(self) -> int:
-        """Largest single allocation currently satisfiable."""
-        largest = max((b.size for b in self._free_blocks.values()), default=0)
-        return max(largest, self.capacity - self.stats.bytes_reserved)
+        """Largest single allocation currently satisfiable.
+
+        O(1): the bucketed free index tracks its maximum, so the OOM
+        error path and per-iteration fragmentation stats no longer pay a
+        linear scan over every cached free block.
+        """
+        return max(
+            self._free_blocks.max_size(),
+            self.capacity - self.stats.bytes_reserved,
+        )
 
     def fragmentation_bytes(self) -> int:
         """External fragmentation: cached free bytes outside the largest block.
 
         The memory that exists but cannot serve one large request — the
-        quantity behind DTR's budget-vs-actual gap in Fig 5.
+        quantity behind DTR's budget-vs-actual gap in Fig 5.  O(1) via
+        the free index's tracked maximum.
         """
-        free_cached = self.bytes_free_cached
-        largest = max((b.size for b in self._free_blocks.values()), default=0)
-        return max(0, free_cached - largest)
+        return max(0, self.bytes_free_cached - self._free_blocks.max_size())
 
     def free_block_sizes(self) -> list[int]:
         """Sizes of all cached free blocks (for fragmentation histograms)."""
